@@ -1,0 +1,95 @@
+//! Criterion benches of the combinatorial-number substrate: the cost of
+//! every number the paper's bounds are stated in, as `n` grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ksa_graphs::covering::covering_number;
+use ksa_graphs::dist_domination::distributed_domination_number;
+use ksa_graphs::domination::{domination_number, greedy_dominating_set};
+use ksa_graphs::equal_domination::equal_domination_number;
+use ksa_graphs::max_covering::max_covering_number_with;
+use ksa_graphs::perm::symmetric_closure;
+use ksa_graphs::random::random_digraph;
+use ksa_graphs::{families, Digraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_domination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("domination_number");
+    for n in [8usize, 12, 16, 24, 32] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let g = random_digraph(n, 0.25, &mut rng).expect("valid n");
+        group.bench_with_input(BenchmarkId::new("exact", n), &g, |b, g| {
+            b.iter(|| domination_number(black_box(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &g, |b, g| {
+            b.iter(|| greedy_dominating_set(black_box(g)).size)
+        });
+    }
+    group.finish();
+}
+
+fn bench_equal_domination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equal_domination");
+    for n in [8usize, 16, 32, 64] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let g = random_digraph(n, 0.3, &mut rng).expect("valid n");
+        group.bench_with_input(BenchmarkId::new("closed_form", n), &g, |b, g| {
+            b.iter(|| equal_domination_number(black_box(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_covering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("covering_number");
+    for n in [8usize, 12, 16, 20] {
+        let g = families::cycle(n).expect("valid n");
+        group.bench_with_input(BenchmarkId::new("cov_2_cycle", n), &g, |b, g| {
+            b.iter(|| covering_number(black_box(g), 2))
+        });
+        group.bench_with_input(BenchmarkId::new("cov_n/2_cycle", n), &g, |b, g| {
+            b.iter(|| covering_number(black_box(g), n / 2))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dist_domination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed_domination");
+    for n in [4usize, 5, 6] {
+        let sym = symmetric_closure(&[families::broadcast_star(n, 0).expect("valid")])
+            .expect("closure");
+        group.bench_with_input(
+            BenchmarkId::new("star_closure", n),
+            &sym,
+            |b, s: &Vec<Digraph>| b.iter(|| distributed_domination_number(black_box(s))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_max_covering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_covering");
+    for n in [4usize, 5, 6] {
+        let sym =
+            symmetric_closure(&[families::cycle(n).expect("valid")]).expect("closure");
+        let gd = distributed_domination_number(&sym).expect("non-empty");
+        group.bench_with_input(
+            BenchmarkId::new("cycle_closure_t1", n),
+            &(sym, gd),
+            |b, (s, gd)| b.iter(|| max_covering_number_with(black_box(s), 1, *gd)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_domination,
+    bench_equal_domination,
+    bench_covering,
+    bench_dist_domination,
+    bench_max_covering
+);
+criterion_main!(benches);

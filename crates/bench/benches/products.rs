@@ -1,0 +1,76 @@
+//! Criterion benches of the multi-round machinery: graph path products,
+//! set powers, covering sequences, and the multi-round bound pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ksa_core::bounds::report::BoundsReport;
+use ksa_graphs::product::{power, set_power};
+use ksa_graphs::random::random_digraph;
+use ksa_graphs::sequences::covering_sequence;
+use ksa_graphs::families;
+use ksa_models::named;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_product(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_product");
+    for n in [8usize, 16, 32, 64] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let g = random_digraph(n, 0.2, &mut rng).expect("valid n");
+        group.bench_with_input(BenchmarkId::new("square", n), &g, |b, g| {
+            b.iter(|| power(black_box(g), 2))
+        });
+        group.bench_with_input(BenchmarkId::new("power8", n), &g, |b, g| {
+            b.iter(|| power(black_box(g), 8))
+        });
+    }
+    group.finish();
+}
+
+fn bench_set_power(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_power");
+    group.sample_size(20);
+    for n in [4usize, 5] {
+        let gens = named::symmetric_ring(n).expect("valid").generators().to_vec();
+        group.bench_with_input(BenchmarkId::new("sym_ring_r2", n), &gens, |b, g| {
+            b.iter(|| set_power(black_box(g), 2).map(|v| v.len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sequences(c: &mut Criterion) {
+    let mut group = c.benchmark_group("covering_sequences");
+    for n in [6usize, 10, 14] {
+        let g = families::cycle(n).expect("valid");
+        group.bench_with_input(BenchmarkId::new("cycle_i1", n), &g, |b, g| {
+            b.iter(|| covering_sequence(black_box(g), 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_report(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounds_report");
+    group.sample_size(10);
+    for (name, model, r) in [
+        ("stars_n5_s2_r1", named::star_unions(5, 2).expect("valid"), 1usize),
+        ("stars_n5_s2_r2", named::star_unions(5, 2).expect("valid"), 2),
+        ("ring_n4_r2", named::symmetric_ring(4).expect("valid"), 2),
+        ("kernel_n5_r1", named::non_empty_kernel(5).expect("valid"), 1),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| BoundsReport::compute(black_box(&model), r))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_product,
+    bench_set_power,
+    bench_sequences,
+    bench_full_report
+);
+criterion_main!(benches);

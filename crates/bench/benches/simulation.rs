@@ -1,0 +1,60 @@
+//! Criterion benches of the runtime substrate: execution throughput,
+//! exhaustive checking, Monte-Carlo batches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ksa_core::algorithms::MinOfAll;
+use ksa_core::task::Value;
+use ksa_models::named;
+use ksa_runtime::checker::check_exhaustive;
+use ksa_runtime::execution::execute_schedule;
+use ksa_runtime::monte_carlo::monte_carlo;
+use std::hint::black_box;
+
+fn bench_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("execute_schedule");
+    for n in [4usize, 8, 16, 32] {
+        let g = ksa_graphs::families::cycle(n).expect("valid");
+        let schedule = vec![g.clone(), g.clone(), g];
+        let inputs: Vec<Value> = (0..n as Value).collect();
+        group.bench_with_input(
+            BenchmarkId::new("cycle_3_rounds", n),
+            &(schedule, inputs),
+            |b, (s, i)| b.iter(|| execute_schedule(&MinOfAll::new(), black_box(s), i)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exhaustive_checker");
+    group.sample_size(10);
+    for (name, model, values) in [
+        ("kernel_n4_v3", named::non_empty_kernel(4).expect("valid"), 3usize),
+        ("stars_n4_s2_v3", named::star_unions(4, 2).expect("valid"), 3),
+        ("ring_n4_v2", named::symmetric_ring(4).expect("valid"), 2),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                check_exhaustive(&MinOfAll::new(), black_box(&model), values, 1, 1 << 40)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monte_carlo");
+    group.sample_size(10);
+    for n in [4usize, 5, 6] {
+        let model = named::non_empty_kernel(n).expect("valid");
+        group.bench_with_input(
+            BenchmarkId::new("kernel_1000_runs", n),
+            &model,
+            |b, m| b.iter(|| monte_carlo(&MinOfAll::new(), black_box(m), n, 2, 1000, 7)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_execution, bench_checker, bench_monte_carlo);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion benches of the topology substrate: pseudosphere
+//! materialization, homology, protocol-complex construction and
+//! connectivity verification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ksa_core::task::input_complex;
+use ksa_core::verify::verify_protocol_connectivity;
+use ksa_graphs::families;
+use ksa_models::named;
+use ksa_topology::connectivity::homological_connectivity;
+use ksa_topology::homology::reduced_betti_numbers;
+use ksa_topology::pseudosphere::Pseudosphere;
+use ksa_topology::shelling::find_shelling_order;
+use ksa_topology::uninterpreted::closed_above_pseudosphere;
+use std::hint::black_box;
+
+fn bench_pseudosphere_materialization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pseudosphere_to_complex");
+    for n in [3usize, 4, 5] {
+        let ps = Pseudosphere::new((0..n).map(|p| (p, vec![0u32, 1, 2])).collect())
+            .expect("distinct colors");
+        group.bench_with_input(BenchmarkId::new("ternary_views", n), &ps, |b, ps| {
+            b.iter(|| ps.to_complex().facet_count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_homology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduced_betti");
+    for n in [3usize, 4] {
+        let complex = Pseudosphere::new((0..n).map(|p| (p, vec![0u32, 1])).collect())
+            .expect("distinct colors")
+            .to_complex();
+        group.bench_with_input(
+            BenchmarkId::new("cross_polytope", n),
+            &complex,
+            |b, cx| b.iter(|| reduced_betti_numbers(black_box(cx))),
+        );
+    }
+    // A closed-above uninterpreted complex (union of pseudospheres).
+    let un = closed_above_pseudosphere(&families::cycle(4).expect("valid")).to_complex();
+    group.bench_function("uninterpreted_C4_closure", |b| {
+        b.iter(|| homological_connectivity(black_box(&un)))
+    });
+    group.finish();
+}
+
+fn bench_protocol_complex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_complex");
+    group.sample_size(10);
+    for (name, model, vmax) in [
+        ("stars_n3_v2", named::star_unions(3, 1).expect("valid"), 1usize),
+        ("ring_n3_v2", named::symmetric_ring(3).expect("valid"), 1),
+        ("stars_n3_v3", named::star_unions(3, 1).expect("valid"), 2),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| verify_protocol_connectivity(black_box(&model), vmax, 500_000))
+        });
+    }
+    group.finish();
+}
+
+fn bench_input_complex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("input_complex");
+    for (n, k) in [(3usize, 2usize), (4, 2), (4, 3)] {
+        group.bench_with_input(
+            BenchmarkId::new("psi", format!("n{n}_k{k}")),
+            &(n, k),
+            |b, &(n, k)| b.iter(|| input_complex(n, k, 10_000_000)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_shelling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shelling_search");
+    group.sample_size(10);
+    for n in [3usize, 4] {
+        let complex = Pseudosphere::new((0..n).map(|p| (p, vec![0u32, 1])).collect())
+            .expect("distinct colors")
+            .to_complex();
+        group.bench_with_input(
+            BenchmarkId::new("cross_polytope", n),
+            &complex,
+            |b, cx| b.iter(|| find_shelling_order(black_box(cx))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pseudosphere_materialization,
+    bench_homology,
+    bench_protocol_complex,
+    bench_input_complex,
+    bench_shelling
+);
+criterion_main!(benches);

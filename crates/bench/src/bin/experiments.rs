@@ -1,0 +1,56 @@
+//! The experiment harness: regenerates every figure and in-text numerical
+//! claim of the paper (see EXPERIMENTS.md for the index).
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments all            # run everything
+//! experiments fig1 stars …   # run selected experiments
+//! experiments --list         # list experiment ids
+//! ```
+//!
+//! Exit code 0 iff every executed experiment's shape assertions held.
+
+use ksa_bench::{run_experiment, ALL_EXPERIMENTS};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for id in ALL_EXPERIMENTS {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+
+    let mut all_ok = true;
+    for id in ids {
+        match run_experiment(id) {
+            Ok(outcome) => {
+                println!("================================================================");
+                println!("experiment: {}", outcome.id);
+                println!("================================================================");
+                println!("{}", outcome.report);
+                println!(
+                    "result: {}\n",
+                    if outcome.passed { "PASSED" } else { "FAILED" }
+                );
+                all_ok &= outcome.passed;
+            }
+            Err(e) => {
+                eprintln!("experiment {id}: error: {e}");
+                all_ok = false;
+            }
+        }
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

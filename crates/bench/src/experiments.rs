@@ -1,0 +1,730 @@
+//! The experiment implementations (one per EXPERIMENTS.md row).
+//!
+//! Every experiment prints *paper claim* vs *measured value* and asserts
+//! the shape (orderings, exact worked-example numbers). Budgets are sized
+//! so `cargo test -p ksa-bench` exercises all of them in debug mode.
+
+use crate::ExperimentOutcome;
+use ksa_core::algorithms::{MinOfAll, MinOfDominatingSet};
+use ksa_core::bounds::report::BoundsReport;
+use ksa_core::bounds::stars::{star_family_bounds, star_set_is_product_idempotent};
+use ksa_core::verify::verify_protocol_connectivity;
+use ksa_graphs::covering::covering_number_of_set;
+use ksa_graphs::dist_domination::distributed_domination_number;
+use ksa_graphs::domination::domination_number;
+use ksa_graphs::equal_domination::equal_domination_number_of_set;
+use ksa_graphs::max_covering::{max_covering_coefficient_with, max_covering_number_with};
+use ksa_graphs::perm::symmetric_closure;
+use ksa_graphs::product::{power, product};
+use ksa_graphs::sequences::{covering_sequence, covering_sequence_of_set};
+use ksa_graphs::{families, Digraph};
+use ksa_models::named;
+use ksa_models::ObliviousModel;
+use ksa_runtime::checker::{check_exhaustive, check_with_supersets};
+use ksa_runtime::monte_carlo::monte_carlo;
+use ksa_topology::complex::Complex;
+use ksa_topology::connectivity::homological_connectivity;
+use ksa_topology::pseudosphere::Pseudosphere;
+use ksa_topology::shelling::is_shellable;
+use ksa_topology::simplex::{Simplex, Vertex};
+use ksa_topology::uninterpreted::{closed_above_uninterpreted_complex, uninterpreted_simplex};
+use std::error::Error;
+
+type R = Result<ExperimentOutcome, Box<dyn Error>>;
+
+/// Figure 1 + §3.2: the two four-process models and their bound
+/// comparison.
+pub fn fig1() -> R {
+    let mut out = ExperimentOutcome::new("fig1");
+    out.line("Figure 1 / §3.2 — covering bounds vs equal-domination bounds (n = 4)");
+
+    // First model: symmetric broadcast star.
+    let star_sym = symmetric_closure(&[families::fig1_star()])?;
+    let geq = equal_domination_number_of_set(&star_sym)?;
+    out.line(format!("star model: γ_eq(S) = {geq}   (paper: n = 4)"));
+    out.check("γ_eq(star) = 4", geq == 4);
+    for i in 1..4usize {
+        let cov = covering_number_of_set(&star_sym, i)?;
+        let bound = i + (4 - cov);
+        out.line(format!("  i = {i}: cov_i = {cov}, covering bound = {bound}-set"));
+        out.check(
+            &format!("covering bound at i = {i} does not beat γ_eq"),
+            bound >= geq,
+        );
+    }
+
+    // Second model (invariant-matched reconstruction).
+    let second_sym = symmetric_closure(&[families::fig1_second_graph()])?;
+    let geq2 = equal_domination_number_of_set(&second_sym)?;
+    let cov2 = covering_number_of_set(&second_sym, 2)?;
+    out.line(format!(
+        "second model: γ_eq(S) = {geq2} (paper: 4), cov_2(S) = {cov2} (paper: 3)"
+    ));
+    out.check("γ_eq = 4", geq2 == 4);
+    out.check("cov_2 = 3", cov2 == 3);
+    let bound = 2 + (4 - cov2);
+    out.line(format!(
+        "covering bound: {bound}-set agreement vs γ_eq bound: {geq2}-set (paper: 3 vs 4)"
+    ));
+    out.check("covering bound = 3 beats γ_eq = 4", bound == 3 && geq2 == 4);
+    let model = named::fig1_second_model()?;
+    let rep = BoundsReport::compute(&model, 1)?;
+    out.check(
+        "best one-round upper bound is 3-set",
+        rep.best_upper().map(|b| b.k) == Some(3),
+    );
+    Ok(out)
+}
+
+/// Figure 2: the uninterpreted simplex of the 3-process example graph.
+pub fn fig2() -> R {
+    let mut out = ExperimentOutcome::new("fig2");
+    out.line("Figure 2 — graph and its uninterpreted simplex");
+    let g = families::fig2_graph();
+    out.line(format!("graph: {g}"));
+    let s = uninterpreted_simplex(&g);
+    out.line(format!("σ_G = {s:?}"));
+    out.check(
+        "view of p0 is {p0, p2}",
+        s.view_of(0) == Some(&ksa_graphs::ProcSet::from_iter([0usize, 2])),
+    );
+    out.check(
+        "view of p1 is {p0, p1}",
+        s.view_of(1) == Some(&ksa_graphs::ProcSet::from_iter([0usize, 1])),
+    );
+    out.check(
+        "view of p2 is {p2}",
+        s.view_of(2) == Some(&ksa_graphs::ProcSet::from_iter([2usize])),
+    );
+    Ok(out)
+}
+
+/// Figure 3: the example pseudosphere and Lemma 4.7's connectivity.
+pub fn fig3() -> R {
+    let mut out = ExperimentOutcome::new("fig3");
+    out.line("Figure 3 — pseudosphere φ(P0,P1,P2; {v1,v2},{v1,v2},{v})");
+    let ps = Pseudosphere::new(vec![(0, vec![1u32, 2]), (1, vec![1, 2]), (2, vec![7])])?;
+    let c = ps.to_complex();
+    out.line(format!(
+        "facets = {} (paper figure shows 4), dim = {}",
+        c.facet_count(),
+        c.dim()
+    ));
+    out.check("4 facets", c.facet_count() == 4);
+    out.check("pure of dimension 2", c.is_pure() && c.dim() == 2);
+    let conn = homological_connectivity(&c);
+    out.line(format!(
+        "homological connectivity = {conn} (Lemma 4.7 predicts ≥ n−2 = 1)"
+    ));
+    out.check("(n−2)-connected", conn >= 1);
+    Ok(out)
+}
+
+/// Figure 4: shellable vs non-shellable exemplars.
+pub fn fig4() -> R {
+    let mut out = ExperimentOutcome::new("fig4");
+    out.line("Figure 4 — shellability of the two exemplars");
+    let tri = |a: usize, b: usize, c: usize| {
+        Simplex::new(vec![
+            Vertex::new(a, 0u32),
+            Vertex::new(b, 0),
+            Vertex::new(c, 0),
+        ])
+        .expect("distinct colors")
+    };
+    let fig4a = Complex::from_facets(vec![tri(0, 1, 2), tri(0, 2, 3)]);
+    let fig4b = Complex::from_facets(vec![tri(0, 1, 2), tri(2, 3, 4)]);
+    let a = is_shellable(&fig4a)?;
+    let b = is_shellable(&fig4b)?;
+    out.line(format!("Figure 4a shellable: {a} (paper: yes)"));
+    out.line(format!("Figure 4b shellable: {b} (paper: no)"));
+    out.check("4a shellable", a);
+    out.check("4b not shellable", !b);
+    Ok(out)
+}
+
+/// Lemma 4.6: pseudosphere intersections, exhaustively on small view sets.
+pub fn lemma46() -> R {
+    let mut out = ExperimentOutcome::new("lemma46");
+    out.line("Lemma 4.6 — φ(U) ∩ φ(V) = φ(U ∩ V), exhaustive small cases");
+    let mut cases = 0;
+    let mut ok = true;
+    // All pairs of view assignments over 2 colors with views ⊆ {0,1,2}.
+    for mask_a0 in 0u8..8 {
+        for mask_a1 in 0u8..8 {
+            for mask_b0 in 0u8..8 {
+                for mask_b1 in 0u8..8 {
+                    let views = |m: u8| (0u32..3).filter(|v| (m >> v) & 1 == 1).collect::<Vec<_>>();
+                    let a = Pseudosphere::new(vec![(0, views(mask_a0)), (1, views(mask_a1))])?;
+                    let b = Pseudosphere::new(vec![(0, views(mask_b0)), (1, views(mask_b1))])?;
+                    let lhs = a.to_complex().intersection(&b.to_complex());
+                    let rhs = a.intersect(&b).to_complex();
+                    ok &= lhs == rhs;
+                    cases += 1;
+                }
+            }
+        }
+    }
+    out.line(format!("checked {cases} pseudosphere pairs"));
+    out.check("all intersections component-wise", ok);
+    Ok(out)
+}
+
+/// Thm 4.12: uninterpreted complexes of the model zoo are (n−2)-connected.
+pub fn thm412() -> R {
+    let mut out = ExperimentOutcome::new("thm412");
+    out.line("Thm 4.12 — uninterpreted complexes of closed-above models are (n−2)-connected");
+    let zoo: Vec<(&str, usize, Vec<Digraph>)> = vec![
+        ("↑C3", 3, vec![families::cycle(3)?]),
+        ("stars n=3 s=1", 3, named::star_unions(3, 1)?.generators().to_vec()),
+        ("ring n=3", 3, named::symmetric_ring(3)?.generators().to_vec()),
+        ("stars n=4 s=2", 4, named::star_unions(4, 2)?.generators().to_vec()),
+        ("fig1(b) single", 4, vec![families::fig1_second_graph()]),
+        ("ring n=4", 4, named::symmetric_ring(4)?.generators().to_vec()),
+    ];
+    out.line(format!("{:<16} {:>6} {:>10} {:>9}", "model", "n", "facets", "conn"));
+    for (name, n, gens) in zoo {
+        let c = closed_above_uninterpreted_complex(&gens, 2_000_000)?;
+        let conn = homological_connectivity(&c);
+        out.line(format!(
+            "{name:<16} {n:>6} {:>10} {conn:>9}",
+            c.facet_count()
+        ));
+        out.check(
+            &format!("{name} is (n−2)={}-connected", n - 2),
+            conn >= n as isize - 2,
+        );
+    }
+    Ok(out)
+}
+
+/// Thm 5.4 / App. B: protocol-complex connectivity vs the predicted `l`.
+pub fn thm54() -> R {
+    let mut out = ExperimentOutcome::new("thm54");
+    out.line("Thm 5.4 — one-round protocol complex connectivity vs predicted l");
+    out.line(format!(
+        "{:<18} {:>6} {:>9} {:>9} {:>8}",
+        "model", "values", "l (pred)", "measured", "facets"
+    ));
+    for (name, model, vmax) in [
+        ("stars n=3 s=1", named::star_unions(3, 1)?, 1usize),
+        ("stars n=3 s=1", named::star_unions(3, 1)?, 2),
+        ("stars n=3 s=2", named::star_unions(3, 2)?, 1),
+        ("ring n=3", named::symmetric_ring(3)?, 1),
+        ("ring n=3", named::symmetric_ring(3)?, 2),
+        ("tournament n=3", named::tournament(3, 1 << 10)?, 1),
+    ] {
+        let rep = verify_protocol_connectivity(&model, vmax, 500_000)?;
+        out.line(format!(
+            "{name:<18} {:>6} {:>9} {:>9} {:>8}",
+            vmax + 1,
+            rep.predicted_l,
+            rep.measured_connectivity,
+            rep.protocol_facets
+        ));
+        out.check(
+            &format!("{name} values≤{}: measured ≥ predicted", vmax),
+            rep.is_consistent(),
+        );
+    }
+    Ok(out)
+}
+
+/// §6.1: the product counterexample on C6, plus Lemma 6.2's inclusion.
+pub fn sec61() -> R {
+    let mut out = ExperimentOutcome::new("sec61");
+    out.line("§6.1 — closure-above is not invariant under the product (C6)");
+    let c6 = families::cycle(6)?;
+    let c6sq = power(&c6, 2)?;
+    // Lemma 6.2: sampled supersets multiply into ↑(C6²).
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(61);
+    let mut inclusion_ok = true;
+    for _ in 0..200 {
+        let a = ksa_graphs::random::random_superset(&c6, &mut rng)?;
+        let b = ksa_graphs::random::random_superset(&c6, &mut rng)?;
+        inclusion_ok &= product(&a, &b)?.contains_graph(&c6sq)?;
+    }
+    out.check("Lemma 6.2: ↑C6 ⊗ ↑C6 ⊆ ↑(C6²) on 200 samples", inclusion_ok);
+
+    // Strictness: C6² + (p1→p5) has no preimage (necessary-condition
+    // argument, mirrored from the paper's prose).
+    let mut target = c6sq.clone();
+    target.add_edge(1, 5)?;
+    let factor2_blocked = !target.has_edge(0, 5); // (w→5) forces (w−1→5)
+    let factor1_blocked = !target.has_edge(1, 0); // (1→w) forces (1→w+1)
+    out.check(
+        "witness C6²+(p1→p5) not expressible via factor-2 addition",
+        factor2_blocked,
+    );
+    out.check(
+        "witness C6²+(p1→p5) not expressible via factor-1 addition",
+        factor1_blocked,
+    );
+    out.line("=> ↑C6 ⊗ ↑C6 ⊊ ↑(C6 ⊗ C6), as §6.1 claims");
+    Ok(out)
+}
+
+/// §5 + Thm 6.13: the star-union sweep — all combinatorial numbers and
+/// the tight bounds.
+pub fn stars() -> R {
+    let mut out = ExperimentOutcome::new("stars");
+    out.line("Thm 6.13 — star unions: γ_dist = n−s+1, max-cov_t = t, M_t = n−t, tight bounds");
+    out.line(format!(
+        "{:>3} {:>3} | {:>7} {:>9} {:>11} | {:>6}",
+        "n", "s", "γ_dist", "solvable", "impossible", "tight"
+    ));
+    for n in 3..=6usize {
+        for s in 1..n {
+            let model = named::star_unions(n, s)?;
+            let gens = model.generators();
+            let gd = distributed_domination_number(gens)?;
+            out.check(&format!("γ_dist(n={n},s={s}) = n−s+1"), gd == n - s + 1);
+            for t in 1..gd {
+                let mc = max_covering_number_with(gens, t, gd)?;
+                let mt = max_covering_coefficient_with(gens, t, gd)?;
+                out.check(
+                    &format!("max-cov_{t}(n={n},s={s}) = t and M_{t} = n−t"),
+                    mc == t && mt == n - t,
+                );
+            }
+            let b = star_family_bounds(n, s)?;
+            let lower = b.lower.as_ref().map(|l| l.impossible_k);
+            let tight = lower.map(|l| b.upper.k == l + 1).unwrap_or(false);
+            out.line(format!(
+                "{n:>3} {s:>3} | {gd:>7} {:>9} {:>11} | {:>6}",
+                b.upper.k,
+                lower.map(|l| l.to_string()).unwrap_or_else(|| "-".into()),
+                if tight { "yes" } else { "no" }
+            ));
+            if n - s >= 1 {
+                out.check(&format!("tight at (n={n}, s={s})"), tight);
+            }
+            out.check(
+                &format!("S^r collapses to S (n={n}, s={s})"),
+                star_set_is_product_idempotent(n, s, 2)?,
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Thm 6.7/6.9: covering sequences and the implied multi-round upper
+/// bounds.
+pub fn seqs() -> R {
+    let mut out = ExperimentOutcome::new("seqs");
+    out.line("Thm 6.7/6.9 — covering sequences: rounds until the i-th sequence reaches n");
+    for (name, g) in [
+        ("C4", families::cycle(4)?),
+        ("C5", families::cycle(5)?),
+        ("C6", families::cycle(6)?),
+        ("binary tree n=7", families::binary_out_tree(7)?),
+        ("star n=4", families::fig1_star()),
+    ] {
+        let n = g.n();
+        let mut cells = Vec::new();
+        for i in 1..=n {
+            let seq = covering_sequence(&g, i)?;
+            cells.push(match seq.reaches_n_at {
+                Some(r) => r.to_string(),
+                None => "∞".into(),
+            });
+        }
+        out.line(format!("{name:<16} rounds(i=1..n) = [{}]", cells.join(", ")));
+        // Monotone: larger i never needs more rounds.
+        let rounds: Vec<Option<usize>> = (1..=n)
+            .map(|i| covering_sequence(&g, i).expect("valid i").reaches_n_at)
+            .collect();
+        let monotone = rounds.windows(2).all(|w| match (w[0], w[1]) {
+            (Some(a), Some(b)) => b <= a,
+            (None, _) => true,
+            (Some(_), None) => false,
+        });
+        out.check(&format!("{name}: rounds non-increasing in i"), monotone);
+    }
+    // Set version: cycles' symmetric closure matches the single cycle
+    // (permutation invariance).
+    let sym = symmetric_closure(&[families::cycle(4)?])?;
+    let single = covering_sequence(&families::cycle(4)?, 1)?;
+    let set = covering_sequence_of_set(&sym, 1)?;
+    out.check(
+        "Sym(C4) sequence equals C4 sequence (perm-invariance)",
+        single.values == set.values,
+    );
+    // The star's sequences stall (paper's γ_eq = n discussion).
+    let star_seq = covering_sequence(&families::fig1_star(), 1)?;
+    out.check("star sequence stalls below n", star_seq.reaches_n_at.is_none());
+    Ok(out)
+}
+
+/// Thm 6.4/6.5/6.11: bounds across rounds for the model zoo.
+pub fn multiround() -> R {
+    let mut out = ExperimentOutcome::new("multiround");
+    out.line("§6 — bounds across rounds (upper from Thm 6.4/6.5/6.9, lower from Thm 6.10/6.11)");
+    out.line(format!(
+        "{:<22} {:>3} {:>9} {:>11}",
+        "model", "r", "solvable", "impossible"
+    ));
+    for (name, model) in [
+        ("ring n=4 (sym)", named::symmetric_ring(4)?),
+        ("ring n=5 (sym)", named::symmetric_ring(5)?),
+        ("simple ring n=4", named::simple_ring(4)?),
+        ("stars n=5 s=2", named::star_unions(5, 2)?),
+        ("kernel n=4", named::non_empty_kernel(4)?),
+    ] {
+        let mut prev_up = usize::MAX;
+        let mut prev_lo = usize::MAX;
+        for r in 1..=3 {
+            let rep = BoundsReport::compute(&model, r)?;
+            let up = rep.best_upper().expect("exists").k;
+            let lo = rep.best_lower().map(|l| l.impossible_k);
+            out.line(format!(
+                "{name:<22} {r:>3} {up:>9} {:>11}",
+                lo.map(|l| l.to_string()).unwrap_or_else(|| "-".into())
+            ));
+            out.check(&format!("{name} r={r}: consistent"), rep.is_consistent());
+            out.check(&format!("{name} r={r}: upper monotone"), up <= prev_up);
+            let lo_v = lo.unwrap_or(0);
+            out.check(
+                &format!("{name} r={r}: lower monotone"),
+                lo_v <= prev_lo,
+            );
+            prev_up = up;
+            prev_lo = lo_v;
+        }
+    }
+    Ok(out)
+}
+
+/// §3's algorithms under execution: exhaustive + Monte-Carlo + the
+/// dominating-set algorithm on supersets.
+pub fn sim() -> R {
+    let mut out = ExperimentOutcome::new("sim");
+    out.line("simulation — algorithms vs bounds (exhaustive over generator schedules)");
+    out.line(format!(
+        "{:<22} {:>7} {:>10} {:>10} {:>12}",
+        "model", "bound", "exh-worst", "mc-worst", "mc-mean"
+    ));
+    for (name, model) in [
+        ("kernel n=4", named::non_empty_kernel(4)?),
+        ("stars n=4 s=2", named::star_unions(4, 2)?),
+        ("stars n=5 s=2", named::star_unions(5, 2)?),
+        ("ring n=4 (sym)", named::symmetric_ring(4)?),
+        ("fig1(b) model", named::fig1_second_model()?),
+    ] {
+        let rep = BoundsReport::compute(&model, 1)?;
+        let bound = rep
+            .uppers
+            .iter()
+            .filter(|u| u.theorem != "Thm 3.2" && u.theorem != "Thm 6.3")
+            .map(|u| u.k)
+            .min()
+            .expect("γ_eq present");
+        let n = model.n();
+        let exh = check_exhaustive(&MinOfAll::new(), &model, n.min(4), 1, 500_000_000)?;
+        let mc = monte_carlo(&MinOfAll::new(), &model, n, 1, 1000, 42)?;
+        out.line(format!(
+            "{name:<22} {bound:>7} {:>10} {:>10} {:>12.2}",
+            exh.worst_distinct,
+            mc.worst_distinct,
+            mc.mean_distinct()
+        ));
+        out.check(&format!("{name}: validity"), exh.validity_ok && mc.validity_ok);
+        out.check(
+            &format!("{name}: exhaustive worst ≤ bound"),
+            exh.worst_distinct <= bound,
+        );
+        out.check(
+            &format!("{name}: Monte-Carlo worst ≤ bound"),
+            mc.worst_distinct <= bound,
+        );
+        // Tight models: the adversary achieves the bound.
+        if rep.is_tight() {
+            out.check(
+                &format!("{name}: bound achieved (tightness)"),
+                exh.worst_distinct == bound,
+            );
+        }
+    }
+    // The dominating-set algorithm on the simple ring: γ(C4) = 2 achieved
+    // and never exceeded, even on supersets.
+    let simple = named::simple_ring(4)?;
+    let alg = MinOfDominatingSet::for_graph(&simple.generators()[0]);
+    let chk = check_with_supersets(&alg, &simple, 3, 1, 10, 7, 50_000_000)?;
+    out.line(format!(
+        "simple ring ↑C4 + min-of-dominating-set: worst = {} (γ = {})",
+        chk.worst_distinct,
+        domination_number(&simple.generators()[0])
+    ));
+    out.check("dominating-set algorithm achieves γ exactly", chk.worst_distinct == 2);
+    Ok(out)
+}
+
+/// Def 5.2 readings compared: the paper-faithful "collections of at most
+/// min(i,|S|) graphs" vs the literal "exactly min(i,|S|) distinct graphs"
+/// (see DESIGN.md and `ksa-graphs::dist_domination`).
+pub fn def52() -> R {
+    use ksa_graphs::dist_domination::distributed_domination_number_exact;
+    let mut out = ExperimentOutcome::new("def52");
+    out.line("Def 5.2 — two readings of the distributed domination number");
+    out.line(format!(
+        "{:<22} {:>9} {:>7} {:>13}",
+        "model", "faithful", "exact", "paper target"
+    ));
+    for (name, model, paper) in [
+        ("stars n=3 s=1", named::star_unions(3, 1)?, Some(3usize)),
+        ("stars n=4 s=1", named::star_unions(4, 1)?, Some(4)),
+        ("stars n=4 s=2", named::star_unions(4, 2)?, Some(3)),
+        ("stars n=5 s=2", named::star_unions(5, 2)?, Some(4)),
+        ("ring n=4 (sym)", named::symmetric_ring(4)?, None),
+        ("fig1(b) model", named::fig1_second_model()?, None),
+    ] {
+        let gens = model.generators();
+        let faithful = distributed_domination_number(gens)?;
+        let exact = distributed_domination_number_exact(gens)?;
+        out.line(format!(
+            "{name:<22} {faithful:>9} {exact:>7} {:>13}",
+            paper.map(|p| p.to_string()).unwrap_or_else(|| "-".into())
+        ));
+        if let Some(p) = paper {
+            out.check(
+                &format!("{name}: faithful reading reproduces the paper ({p})"),
+                faithful == p,
+            );
+        }
+        out.check(&format!("{name}: exact ≤ faithful"), exact <= faithful);
+    }
+    // The divergence witness from the module docs.
+    let sym3 = named::star_unions(3, 1)?;
+    out.check(
+        "n=3 s=1: exact reading diverges (2 vs 3)",
+        distributed_domination_number_exact(sym3.generators())? == 2
+            && distributed_domination_number(sym3.generators())? == 3,
+    );
+    Ok(out)
+}
+
+/// The universal-domination extension: a one-round upper bound the paper
+/// misses, machine-checked over an entire model, exposing the Thm 5.4
+/// scoping issue.
+pub fn extuniv() -> R {
+    use ksa_core::bounds::extensions::universal_domination_upper_bound;
+    use ksa_core::bounds::lower::theorem_5_4_l;
+    use ksa_graphs::closure::enumerate_closure;
+    use ksa_graphs::universal_domination::universal_domination_number;
+    let mut out = ExperimentOutcome::new("extuniv");
+    out.line("extension — the universal-domination upper bound γ_univ(S)");
+    out.line(format!(
+        "{:<22} {:>7} {:>7} {:>9}",
+        "model", "γ_univ", "γ_eq", "improves"
+    ));
+    for (name, model) in [
+        ("stars n=4 s=2", named::star_unions(4, 2)?),
+        ("ring n=4 (sym)", named::symmetric_ring(4)?),
+        ("fig1(b) model", named::fig1_second_model()?),
+        ("C4 + reversed C4", {
+            let c = families::cycle(4)?;
+            let rev = Digraph::from_edges(4, &[(1, 0), (2, 1), (3, 2), (0, 3)])?;
+            ksa_models::ClosedAboveModel::new(vec![c, rev])?
+        }),
+    ] {
+        let univ = universal_domination_number(model.generators())?;
+        let geq = equal_domination_number_of_set(model.generators())?;
+        out.line(format!(
+            "{name:<22} {univ:>7} {geq:>7} {:>9}",
+            if univ < geq { "yes" } else { "no" }
+        ));
+        out.check(&format!("{name}: γ_univ ≤ γ_eq"), univ <= geq);
+    }
+
+    // The headline: {C4, rev C4} solves 2-set agreement in one round with
+    // a hardcoded pair — machine-checked over EVERY graph of the model and
+    // every input over 3 values — while the Thm 5.4 formula says 2-set is
+    // impossible (the scoping issue documented in DESIGN.md).
+    let c = families::cycle(4)?;
+    let rev = Digraph::from_edges(4, &[(1, 0), (2, 1), (3, 2), (0, 3)])?;
+    let model = ksa_models::ClosedAboveModel::new(vec![c, rev])?;
+    let (ub, w) = universal_domination_upper_bound(&model, 1)?;
+    out.check("γ_univ({C4, rev C4}) = 2", ub.k == 2);
+    let alg = MinOfDominatingSet::new(w.set);
+    let mut graphs: Vec<Digraph> = Vec::new();
+    for g in model.generators() {
+        graphs.extend(enumerate_closure(g, 1 << 13)?);
+    }
+    graphs.sort();
+    graphs.dedup();
+    out.line(format!(
+        "checking the witness algorithm on all {} graphs × 81 inputs…",
+        graphs.len()
+    ));
+    let mut worst = 0usize;
+    let mut valid = true;
+    let mut inputs = [0u32; 4];
+    'inp: loop {
+        for g in &graphs {
+            let mut decisions: Vec<u32> = (0..4)
+                .map(|p| {
+                    let view: Vec<(usize, u32)> =
+                        g.in_set(p).iter().map(|q| (q, inputs[q])).collect();
+                    let d = ksa_core::algorithms::ObliviousAlgorithm::decide(&alg, p, &view);
+                    valid &= inputs.contains(&d);
+                    d
+                })
+                .collect();
+            decisions.sort_unstable();
+            decisions.dedup();
+            worst = worst.max(decisions.len());
+        }
+        let mut p = 0;
+        loop {
+            if p == 4 {
+                break 'inp;
+            }
+            inputs[p] += 1;
+            if inputs[p] < 3 {
+                break;
+            }
+            inputs[p] = 0;
+            p += 1;
+        }
+    }
+    out.line(format!("worst distinct decisions over the whole model: {worst}"));
+    out.check("validity over the whole model", valid);
+    out.check("2-set agreement solved on the whole model", worst <= 2);
+    let l = theorem_5_4_l(model.generators())?;
+    out.line(format!(
+        "Thm 5.4 formula on this model: l + 1 = {} (claims impossible) — the documented overreach",
+        l + 1
+    ));
+    out.check("the conflict is reproduced (l + 1 = 2)", l + 1 == 2);
+    Ok(out)
+}
+
+/// Cor 5.5's single-graph estimate vs the direct Thm 5.4 computation on
+/// the materialized symmetric closure.
+pub fn cor55() -> R {
+    use ksa_core::bounds::lower::{general_one_round_lower, symmetric_one_round_lower};
+    let mut out = ExperimentOutcome::new("cor55");
+    out.line("Cor 5.5 — single-generator estimate vs direct Thm 5.4 on Sym(↑G)");
+    out.line(format!(
+        "{:<18} {:>14} {:>12}",
+        "generator", "cor55 imposs.", "direct imposs."
+    ));
+    for (name, g) in [
+        ("C4", families::cycle(4)?),
+        ("C5", families::cycle(5)?),
+        ("star n=4", families::broadcast_star(4, 0)?),
+        ("star n=5", families::broadcast_star(5, 0)?),
+        ("fig1(b) graph", families::fig1_second_graph()),
+    ] {
+        let cor = symmetric_one_round_lower(&g)?
+            .map(|b| b.impossible_k)
+            .unwrap_or(0);
+        let model = ksa_models::ClosedAboveModel::symmetric(vec![g.clone()])?;
+        let direct = general_one_round_lower(&model)?
+            .map(|b| b.impossible_k)
+            .unwrap_or(0);
+        out.line(format!("{name:<18} {cor:>14} {direct:>12}"));
+        out.check(
+            &format!("{name}: corollary never exceeds the direct bound"),
+            cor <= direct,
+        );
+    }
+    Ok(out)
+}
+
+/// The solvability decision procedure (extension): exact one-round
+/// boundaries for the small zoo, agreeing with the paper's bounds from
+/// both sides.
+pub fn solv() -> R {
+    use ksa_core::solvability::{decide_one_round, Solvability};
+    let mut out = ExperimentOutcome::new("solv");
+    out.line("extension — exact one-round oblivious solvability (decision procedure)");
+    out.line(format!(
+        "{:<18} {:>3} {:>12} {:>22}",
+        "model", "k", "verdict", "paper prediction"
+    ));
+    let cases: Vec<(&str, ksa_models::ClosedAboveModel, usize, bool, &str)> = vec![
+        ("stars n=3 s=1", named::star_unions(3, 1)?, 2, false, "Thm 5.4: impossible"),
+        ("stars n=3 s=1", named::star_unions(3, 1)?, 3, true, "Thm 3.4: solvable"),
+        ("stars n=3 s=2", named::star_unions(3, 2)?, 1, false, "Thm 6.13: impossible"),
+        ("stars n=3 s=2", named::star_unions(3, 2)?, 2, true, "Thm 3.4: solvable"),
+        ("ring n=3 (sym)", named::symmetric_ring(3)?, 1, false, "Thm 5.4: impossible"),
+        ("ring n=3 (sym)", named::symmetric_ring(3)?, 2, true, "Thm 3.4: solvable"),
+        ("simple ring ↑C3", named::simple_ring(3)?, 1, false, "Thm 5.1: impossible"),
+        ("simple ring ↑C3", named::simple_ring(3)?, 2, true, "Thm 3.2: solvable"),
+    ];
+    for (name, model, k, expect_solvable, prediction) in cases {
+        let verdict = decide_one_round(&model, k, k, 2_000_000, 50_000_000)?;
+        let shown = match &verdict {
+            Solvability::Solvable(_) => "solvable",
+            Solvability::Unsolvable => "unsolvable",
+            Solvability::Unknown => "unknown",
+        };
+        out.line(format!("{name:<18} {k:>3} {shown:>12} {prediction:>22}"));
+        out.check(
+            &format!("{name} k={k}: matches the paper"),
+            verdict.is_solvable() == expect_solvable,
+        );
+    }
+    Ok(out)
+}
+
+/// Approximate consensus on non-split rounds (§2.1's motivating predicate,
+/// the paper's reference \[8\]): midpoint averaging halves the diameter each
+/// round — exhaustively on n = 3, and convergence in ⌈log2(D/ε)⌉ rounds.
+pub fn approx() -> R {
+    use ksa_models::adversary::FixedSequence;
+    use ksa_runtime::approx::{
+        averaging_round, diameter, is_non_split, rounds_to_epsilon, run_approximate_consensus,
+    };
+    let mut out = ExperimentOutcome::new("approx");
+    out.line("§2.1 context — approximate consensus on non-split models");
+    // Exhaustive halving check on all non-split 3-process graphs.
+    let model = ksa_models::named::non_split(3, 1 << 18)?;
+    let inputs_grid: Vec<Vec<f64>> = vec![
+        vec![0.0, 1.0, 0.5],
+        vec![-3.0, 2.0, 7.0],
+        vec![0.0, 1.0, 1.0],
+    ];
+    let mut halves = true;
+    for g in model.graphs() {
+        for inputs in &inputs_grid {
+            let before = diameter(inputs);
+            let after = diameter(&averaging_round(g, inputs)?);
+            halves &= after <= before / 2.0 + 1e-12;
+        }
+    }
+    out.line(format!(
+        "non-split graphs on 3 processes: {} (all checked × {} input vectors)",
+        model.graphs().len(),
+        inputs_grid.len()
+    ));
+    out.check("diameter halves on every non-split round", halves);
+    out.check(
+        "every enumerated graph is non-split",
+        model.graphs().iter().all(is_non_split),
+    );
+
+    // Convergence budget on kernel schedules (kernel ⊆ non-split).
+    let kernel = named::non_empty_kernel(4)?;
+    let inputs = [0.0f64, 1.0, 0.25, 0.75];
+    let eps = 1e-3;
+    let budget = rounds_to_epsilon(diameter(&inputs), eps);
+    let mut adv = FixedSequence::new(kernel.generators().to_vec());
+    let trace = run_approximate_consensus(&mut adv, &inputs, eps, budget)?;
+    out.line(format!(
+        "kernel n=4 schedule: D0 = {}, ε = {eps}, budget = {budget}, converged at {:?}",
+        diameter(&inputs),
+        trace.converged_at
+    ));
+    out.check(
+        "ε-agreement within ⌈log2(D/ε)⌉ rounds",
+        matches!(trace.converged_at, Some(r) if r <= budget),
+    );
+    // Split rounds stall.
+    let mut lonely = FixedSequence::new(vec![Digraph::empty(4)?]);
+    let stalled = run_approximate_consensus(&mut lonely, &inputs, eps, 20)?;
+    out.check("split schedule never converges", stalled.converged_at.is_none());
+    Ok(out)
+}

@@ -1,0 +1,92 @@
+//! Shared experiment logic for the `experiments` binary and the criterion
+//! benches.
+//!
+//! Each function runs one experiment of the EXPERIMENTS.md index, returns
+//! a rendered report plus a pass/fail verdict of its *shape assertions*
+//! (the orderings/values the paper states; see DESIGN.md §3).
+
+pub mod experiments;
+
+/// Outcome of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// Experiment id (matches EXPERIMENTS.md).
+    pub id: &'static str,
+    /// Human-readable report (tables included).
+    pub report: String,
+    /// Whether every shape assertion held.
+    pub passed: bool,
+}
+
+impl ExperimentOutcome {
+    pub(crate) fn new(id: &'static str) -> Self {
+        ExperimentOutcome {
+            id,
+            report: String::new(),
+            passed: true,
+        }
+    }
+
+    pub(crate) fn line(&mut self, s: impl AsRef<str>) {
+        self.report.push_str(s.as_ref());
+        self.report.push('\n');
+    }
+
+    pub(crate) fn check(&mut self, what: &str, ok: bool) {
+        self.line(format!("  [{}] {}", if ok { "ok" } else { "FAIL" }, what));
+        self.passed &= ok;
+    }
+}
+
+/// All experiment ids, in presentation order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "fig1", "fig2", "fig3", "fig4", "lemma46", "thm412", "thm54", "sec61", "stars", "seqs",
+    "multiround", "sim", "def52", "cor55", "extuniv", "solv", "approx",
+];
+
+/// Runs one experiment by id.
+///
+/// # Errors
+///
+/// Returns an error string for unknown ids or computation failures.
+pub fn run_experiment(id: &str) -> Result<ExperimentOutcome, String> {
+    let result = match id {
+        "fig1" => experiments::fig1(),
+        "fig2" => experiments::fig2(),
+        "fig3" => experiments::fig3(),
+        "fig4" => experiments::fig4(),
+        "lemma46" => experiments::lemma46(),
+        "thm412" => experiments::thm412(),
+        "thm54" => experiments::thm54(),
+        "sec61" => experiments::sec61(),
+        "stars" => experiments::stars(),
+        "seqs" => experiments::seqs(),
+        "multiround" => experiments::multiround(),
+        "sim" => experiments::sim(),
+        "def52" => experiments::def52(),
+        "cor55" => experiments::cor55(),
+        "extuniv" => experiments::extuniv(),
+        "solv" => experiments::solv(),
+        "approx" => experiments::approx(),
+        other => return Err(format!("unknown experiment id: {other}")),
+    };
+    result.map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_runs_and_passes() {
+        for id in ALL_EXPERIMENTS {
+            let out = run_experiment(id).unwrap_or_else(|e| panic!("{id}: {e}"));
+            assert!(out.passed, "{id} failed:\n{}", out.report);
+        }
+    }
+
+    #[test]
+    fn unknown_id_rejected() {
+        assert!(run_experiment("nope").is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Oblivious algorithms (Def 2.5).
+//!
+//! An oblivious algorithm's decision map sees only the **flat view**: the
+//! set of `(process, initial value)` pairs the process has heard about —
+//! no rounds, no provenance, no nesting. The trait below makes that a
+//! type-level guarantee: implementations simply cannot inspect anything
+//! else.
+//!
+//! The two algorithms of §3:
+//!
+//! * [`MinOfAll`] — decide the minimum value heard (Thm 3.4 / 3.7 / 6.9);
+//! * [`MinOfDominatingSet`] — decide the minimum value among a fixed
+//!   dominating set of the (known) generator (Thm 3.2 / 6.3).
+
+use crate::task::Value;
+use ksa_graphs::domination::minimum_dominating_set;
+use ksa_graphs::{Digraph, ProcSet};
+use ksa_topology::interpretation::FlatView;
+
+/// An oblivious decision map (Def 2.5): from flat views to values.
+pub trait ObliviousAlgorithm {
+    /// Algorithm name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Decides from the flat view of process `me`. The view always
+    /// contains `me`'s own pair (self-loops), so it is never empty.
+    fn decide(&self, me: usize, view: &FlatView<Value>) -> Value;
+}
+
+/// Decide the minimum value heard (the §3 "everybody sends, take the min"
+/// algorithm).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinOfAll;
+
+impl MinOfAll {
+    /// Creates the algorithm.
+    pub fn new() -> Self {
+        MinOfAll
+    }
+}
+
+impl ObliviousAlgorithm for MinOfAll {
+    fn name(&self) -> &'static str {
+        "min-of-all"
+    }
+
+    fn decide(&self, _me: usize, view: &FlatView<Value>) -> Value {
+        view.iter()
+            .map(|&(_, v)| v)
+            .min()
+            .expect("flat views contain at least the own pair")
+    }
+}
+
+/// Decide the minimum value received **from a fixed dominating set** of the
+/// generator graph (Thm 3.2's algorithm): on `↑G`, every process hears at
+/// least one member of a dominating set of `G`, so at most `γ(G)` values
+/// are decided.
+///
+/// Falls back to the overall minimum if no dominating-set member was heard
+/// (which cannot happen on the intended model; the fallback keeps the map
+/// total, as Def 2.5 requires).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinOfDominatingSet {
+    dom: ProcSet,
+}
+
+impl MinOfDominatingSet {
+    /// Builds the algorithm from a minimum dominating set of `g`, computed
+    /// once up front ("since G is known, this minimum dominating set can
+    /// be computed beforehand", Thm 3.2 proof).
+    pub fn for_graph(g: &Digraph) -> Self {
+        MinOfDominatingSet {
+            dom: minimum_dominating_set(g).set,
+        }
+    }
+
+    /// Builds the algorithm from an explicit process set.
+    pub fn new(dom: ProcSet) -> Self {
+        MinOfDominatingSet { dom }
+    }
+
+    /// The dominating set in use.
+    pub fn dominating_set(&self) -> ProcSet {
+        self.dom
+    }
+}
+
+impl ObliviousAlgorithm for MinOfDominatingSet {
+    fn name(&self) -> &'static str {
+        "min-of-dominating-set"
+    }
+
+    fn decide(&self, _me: usize, view: &FlatView<Value>) -> Value {
+        view.iter()
+            .filter(|&&(q, _)| self.dom.contains(q))
+            .map(|&(_, v)| v)
+            .min()
+            .unwrap_or_else(|| {
+                view.iter()
+                    .map(|&(_, v)| v)
+                    .min()
+                    .expect("flat views contain at least the own pair")
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksa_graphs::families;
+
+    #[test]
+    fn min_of_all_decides_minimum() {
+        let a = MinOfAll::new();
+        assert_eq!(a.decide(0, &vec![(0, 9), (1, 4), (2, 7)]), 4);
+        assert_eq!(a.decide(2, &vec![(2, 3)]), 3);
+        assert_eq!(a.name(), "min-of-all");
+    }
+
+    #[test]
+    fn dominating_set_filters() {
+        let alg = MinOfDominatingSet::new(ProcSet::from_iter([1usize]));
+        // Value from p0 is smaller but p0 is not in the dominating set.
+        assert_eq!(alg.decide(0, &vec![(0, 1), (1, 5)]), 5);
+    }
+
+    #[test]
+    fn dominating_set_fallback() {
+        let alg = MinOfDominatingSet::new(ProcSet::from_iter([7usize]));
+        // Nobody from the set heard: fall back to overall min.
+        assert_eq!(alg.decide(0, &vec![(0, 3), (1, 2)]), 2);
+    }
+
+    #[test]
+    fn for_graph_uses_minimum_dominating_set() {
+        let star = families::broadcast_star(5, 2).unwrap();
+        let alg = MinOfDominatingSet::for_graph(&star);
+        assert_eq!(alg.dominating_set(), ProcSet::singleton(2));
+    }
+
+    #[test]
+    fn algorithms_are_oblivious_by_type() {
+        // The decision depends only on the (proc, value) pairs: permuting
+        // the *reception order* is impossible to express, and the same view
+        // gives the same decision.
+        let a = MinOfAll::new();
+        let v1 = vec![(0, 5), (2, 1)];
+        let v2 = vec![(0, 5), (2, 1)];
+        assert_eq!(a.decide(0, &v1), a.decide(1, &v2));
+    }
+}

@@ -1,0 +1,47 @@
+//! Every bound of the paper, as labeled, executable functions.
+//!
+//! * [`upper`] — Thms 3.2, 3.4, 3.7 (one round) and 6.3, 6.4, 6.5,
+//!   6.7/6.9 (multiple rounds): values of `k` for which `k`-set agreement
+//!   **is solvable**, each realized by a concrete algorithm;
+//! * [`lower`] — Thms 5.1, 5.4, Cor 5.5 (one round) and 6.10, 6.11
+//!   (multiple rounds): values of `k` for which `k`-set agreement **is
+//!   not solvable**;
+//! * [`stars`] — the star-union family (Thm 6.13), where the two meet:
+//!   the bounds are tight;
+//! * [`report`] — one-stop [`report::BoundsReport`] assembling everything
+//!   for a model and round count.
+//!
+//! Conventions: an *upper bound* `k` means "`k`-set agreement solvable"
+//! (smaller is stronger); a *lower bound* is reported as the largest `k`
+//! proved **impossible** (larger is stronger). Consistency requires
+//! `best_upper ≥ best_impossible + 1`, which the report asserts and the
+//! property tests check across random models.
+
+pub mod extensions;
+pub mod lower;
+pub mod report;
+pub mod stars;
+pub mod upper;
+
+/// An upper bound: `k`-set agreement is solvable, by the cited theorem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpperBound {
+    /// The agreement degree that is solvable.
+    pub k: usize,
+    /// Which theorem produced the bound.
+    pub theorem: &'static str,
+    /// Rounds used by the witnessing algorithm.
+    pub rounds: usize,
+}
+
+/// A lower bound: `impossible_k`-set agreement is **not** solvable, by the
+/// cited theorem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerBound {
+    /// The largest agreement degree proved impossible by this criterion.
+    pub impossible_k: usize,
+    /// Which theorem produced the bound.
+    pub theorem: &'static str,
+    /// Round count the impossibility is stated for.
+    pub rounds: usize,
+}

@@ -1,0 +1,190 @@
+//! One-stop bound reports for a model and round count.
+
+use crate::bounds::lower::{general_multi_round_lower, simple_multi_round_lower};
+use crate::bounds::upper::{
+    covering_upper_bounds, gamma_eq_upper_bound, gamma_upper_bound,
+    sequence_upper_bound,
+};
+use crate::bounds::{LowerBound, UpperBound};
+use crate::error::CoreError;
+use ksa_models::ClosedAboveModel;
+use std::fmt;
+
+/// Everything the paper says about one `(model, rounds)` pair.
+#[derive(Debug, Clone)]
+pub struct BoundsReport {
+    /// Number of processes.
+    pub n: usize,
+    /// Round count the report is about.
+    pub rounds: usize,
+    /// Number of generators of the model.
+    pub generator_count: usize,
+    /// All upper bounds that apply (each theorem's contribution).
+    pub uppers: Vec<UpperBound>,
+    /// The per-`i` covering-bound family of Thm 3.7/6.5.
+    pub covering_family: Vec<(usize, usize)>,
+    /// All lower bounds that apply.
+    pub lowers: Vec<LowerBound>,
+}
+
+impl BoundsReport {
+    /// Computes the full report.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadParameter`] for `r = 0`; graph-layer errors
+    /// otherwise.
+    pub fn compute(model: &ClosedAboveModel, rounds: usize) -> Result<Self, CoreError> {
+        let n = ksa_models::ObliviousModel::n(model);
+        let mut uppers = Vec::new();
+        if model.is_simple() {
+            uppers.push(gamma_upper_bound(model, rounds)?);
+        }
+        uppers.push(gamma_eq_upper_bound(model, rounds)?);
+        let covering = covering_upper_bounds(model, rounds)?;
+        let covering_family: Vec<(usize, usize)> =
+            covering.iter().map(|(i, b)| (*i, b.k)).collect();
+        if let Some(best_cov) = covering.into_iter().map(|(_, b)| b).min_by_key(|b| b.k) {
+            uppers.push(best_cov);
+        }
+        if let Some(b) = sequence_upper_bound(model, rounds)? {
+            uppers.push(b);
+        }
+        let mut lowers = Vec::new();
+        if model.is_simple() {
+            // Thm 5.4 is scoped to general models (see bounds::lower).
+            if let Some(b) = simple_multi_round_lower(model, rounds)? {
+                lowers.push(b);
+            }
+        } else if let Some(b) = general_multi_round_lower(model, rounds)? {
+            lowers.push(b);
+        }
+        let report = BoundsReport {
+            n,
+            rounds,
+            generator_count: model.generators().len(),
+            uppers,
+            covering_family,
+            lowers,
+        };
+        debug_assert!(report.is_consistent(), "bounds crossed: {report}");
+        Ok(report)
+    }
+
+    /// The best (smallest-`k`) upper bound.
+    pub fn best_upper(&self) -> Option<&UpperBound> {
+        self.uppers.iter().min_by_key(|b| b.k)
+    }
+
+    /// The best (largest impossible `k`) lower bound.
+    pub fn best_lower(&self) -> Option<&LowerBound> {
+        self.lowers.iter().max_by_key(|b| b.impossible_k)
+    }
+
+    /// Soundness: every impossible `k` is below every solvable `k`.
+    pub fn is_consistent(&self) -> bool {
+        match (self.best_upper(), self.best_lower()) {
+            (Some(u), Some(l)) => l.impossible_k < u.k,
+            _ => true,
+        }
+    }
+
+    /// Whether the bounds meet: solvable `k` = impossible `k` + 1.
+    pub fn is_tight(&self) -> bool {
+        matches!(
+            (self.best_upper(), self.best_lower()),
+            (Some(u), Some(l)) if u.k == l.impossible_k + 1
+        )
+    }
+
+    /// The gap between the best upper and best lower bound
+    /// (`0` = tight; `None` when no lower bound exists).
+    pub fn gap(&self) -> Option<usize> {
+        match (self.best_upper(), self.best_lower()) {
+            (Some(u), Some(l)) => Some(u.k - (l.impossible_k + 1)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BoundsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "bounds for n = {}, {} generators, r = {}:",
+            self.n, self.generator_count, self.rounds
+        )?;
+        for u in &self.uppers {
+            writeln!(f, "  solvable:   {}-set agreement  [{}]", u.k, u.theorem)?;
+        }
+        for l in &self.lowers {
+            writeln!(
+                f,
+                "  impossible: {}-set agreement  [{}]",
+                l.impossible_k, l.theorem
+            )?;
+        }
+        match self.gap() {
+            Some(0) => writeln!(f, "  => TIGHT"),
+            Some(g) => writeln!(f, "  => gap {g}"),
+            None => writeln!(f, "  => no non-trivial lower bound"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksa_models::named;
+
+    #[test]
+    fn star_union_report_tight() {
+        let m = named::star_unions(5, 2).unwrap();
+        let r = BoundsReport::compute(&m, 1).unwrap();
+        assert!(r.is_consistent());
+        assert!(r.is_tight());
+        assert_eq!(r.gap(), Some(0));
+        assert_eq!(r.best_upper().unwrap().k, 4);
+        assert_eq!(r.best_lower().unwrap().impossible_k, 3);
+        let shown = r.to_string();
+        assert!(shown.contains("TIGHT"));
+    }
+
+    #[test]
+    fn fig1_second_model_report() {
+        let m = named::fig1_second_model().unwrap();
+        let r = BoundsReport::compute(&m, 1).unwrap();
+        assert_eq!(r.best_upper().unwrap().k, 3);
+        assert!(r.is_consistent());
+        // The covering family contains the paper's i = 2 entry.
+        assert!(r.covering_family.contains(&(2, 3)));
+    }
+
+    #[test]
+    fn simple_ring_reports_across_rounds() {
+        let m = named::simple_ring(4).unwrap();
+        let r1 = BoundsReport::compute(&m, 1).unwrap();
+        assert!(r1.is_tight(), "{r1}"); // γ = 2 solvable, 1 impossible
+        let r3 = BoundsReport::compute(&m, 3).unwrap();
+        assert_eq!(r3.best_upper().unwrap().k, 1);
+        assert!(r3.best_lower().is_none());
+        assert!(r3.is_consistent());
+    }
+
+    #[test]
+    fn consistency_across_zoo() {
+        let models = vec![
+            named::non_empty_kernel(4).unwrap(),
+            named::symmetric_ring(4).unwrap(),
+            named::star_unions(5, 4).unwrap(),
+            named::tournament(3, 1 << 10).unwrap(),
+            named::fig1_star_model().unwrap(),
+        ];
+        for m in models {
+            for r in 1..=2 {
+                let rep = BoundsReport::compute(&m, r).unwrap();
+                assert!(rep.is_consistent(), "{rep}");
+            }
+        }
+    }
+}

@@ -1,0 +1,659 @@
+//! An exact decision procedure for **one-round oblivious solvability** of
+//! k-set agreement on a closed-above model (extension beyond the paper).
+//!
+//! The paper sandwiches solvability between algorithmic upper bounds and
+//! topological lower bounds. For small models we can do better: decide it
+//! outright. A one-round oblivious algorithm (Def 2.5) *is* a map
+//! `δ : flat view → value`, and (for inputs ranging over all assignments
+//! of a finite value set) validity forces `δ(V) ∈ values(V)` — deciding a
+//! value not heard is invalid in some compatible execution. So:
+//!
+//! > k-set agreement is solvable in one round by an oblivious algorithm
+//! > with inputs from `{0..v}` **iff** there is an assignment of a heard
+//! > value to every reachable flat view such that every execution (input
+//! > assignment × allowed graph) sees at most `k` distinct values.
+//!
+//! The executions of a closed-above model factor exactly through the
+//! per-process superset choices (Lemma 4.8), so the search space is finite
+//! and complete. This module enumerates it and runs a
+//! most-constrained-first backtracking search with forward checking.
+//!
+//! `Unsolvable` verdicts over the value range `{0, …, k}` imply general
+//! unsolvability (an adversary can always restrict inputs), making this an
+//! independent, non-topological check of Thm 5.4's impossibilities — see
+//! the `solv` experiment.
+
+use crate::error::CoreError;
+use crate::task::Value;
+use ksa_models::ClosedAboveModel;
+use ksa_models::ObliviousModel;
+use ksa_topology::interpretation::FlatView;
+use std::collections::HashMap;
+
+/// Verdict of the decision procedure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Solvability {
+    /// A decision map exists; the witness maps each reachable flat view to
+    /// its decision.
+    Solvable(DecisionMap),
+    /// No decision map exists: k-set agreement is not solvable in one
+    /// round by any oblivious algorithm, for inputs over the given values.
+    Unsolvable,
+    /// The node budget was exhausted before the search completed.
+    Unknown,
+}
+
+impl Solvability {
+    /// Whether the verdict is `Solvable`.
+    pub fn is_solvable(&self) -> bool {
+        matches!(self, Solvability::Solvable(_))
+    }
+}
+
+/// A witnessing oblivious decision map (flat view → decided value).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DecisionMap {
+    entries: Vec<(FlatView<Value>, Value)>,
+}
+
+impl DecisionMap {
+    /// The decision for a flat view, if the view was reachable in the
+    /// analyzed model.
+    pub fn decide(&self, view: &FlatView<Value>) -> Option<Value> {
+        self.entries
+            .binary_search_by(|(v, _)| v.cmp(view))
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Number of distinct reachable views.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl crate::algorithms::ObliviousAlgorithm for DecisionMap {
+    fn name(&self) -> &'static str {
+        "synthesized-decision-map"
+    }
+
+    fn decide(&self, _me: usize, view: &FlatView<Value>) -> Value {
+        DecisionMap::decide(self, view).unwrap_or_else(|| {
+            // Unreachable views (shouldn't occur on the analyzed model):
+            // fall back to the minimum heard value.
+            view.iter().map(|&(_, v)| v).min().expect("non-empty view")
+        })
+    }
+}
+
+/// Decides one-round oblivious solvability of k-set agreement on `model`
+/// with inputs from `{0, …, value_max}`.
+///
+/// `exec_limit` bounds the number of enumerated executions and
+/// `node_budget` the backtracking nodes (exceeding the latter returns
+/// [`Solvability::Unknown`]).
+///
+/// # Errors
+///
+/// [`CoreError::BadParameter`] for `k = 0`; [`CoreError::Topology`]
+/// (budget) when the execution enumeration exceeds `exec_limit`.
+pub fn decide_one_round(
+    model: &ClosedAboveModel,
+    k: usize,
+    value_max: usize,
+    exec_limit: usize,
+    node_budget: usize,
+) -> Result<Solvability, CoreError> {
+    if k == 0 {
+        return Err(CoreError::BadParameter {
+            name: "k",
+            value: 0,
+            domain: "[1, n]",
+        });
+    }
+    let n = model.n();
+    let values = value_max as Value + 1;
+
+    // --- Enumerate reachable views and executions --------------------------
+    let mut view_ids: HashMap<FlatView<Value>, u32> = HashMap::new();
+    let mut views: Vec<FlatView<Value>> = Vec::new();
+    let mut executions: Vec<Vec<u32>> = Vec::new();
+    let mut seen_exec: std::collections::HashSet<Vec<u32>> = std::collections::HashSet::new();
+
+    let mut inputs = vec![0 as Value; n];
+    'inputs: loop {
+        for g in model.generators() {
+            // Per-process free bits (processes not already heard).
+            let bases: Vec<ksa_graphs::ProcSet> = (0..n).map(|p| g.in_set(p)).collect();
+            let frees: Vec<Vec<usize>> = bases
+                .iter()
+                .map(|b| b.complement(n).iter().collect())
+                .collect();
+            // Odometer over all per-process superset choices.
+            let mut choice: Vec<u64> = vec![0; n];
+            loop {
+                let mut exec: Vec<u32> = Vec::with_capacity(n);
+                for p in 0..n {
+                    let mut senders = bases[p];
+                    for (bit, &q) in frees[p].iter().enumerate() {
+                        if (choice[p] >> bit) & 1 == 1 {
+                            senders.insert(q);
+                        }
+                    }
+                    let view: FlatView<Value> =
+                        senders.iter().map(|q| (q, inputs[q])).collect();
+                    let next_id = views.len() as u32;
+                    let id = *view_ids.entry(view.clone()).or_insert_with(|| {
+                        views.push(view);
+                        next_id
+                    });
+                    exec.push(id);
+                }
+                exec.sort_unstable();
+                exec.dedup();
+                if seen_exec.insert(exec.clone()) {
+                    executions.push(exec);
+                    if executions.len() > exec_limit {
+                        return Err(CoreError::Topology(
+                            ksa_topology::TopologyError::TooLarge {
+                                what: "solvability executions",
+                                estimated: executions.len() as u128,
+                                limit: exec_limit as u128,
+                            },
+                        ));
+                    }
+                }
+                // Advance the odometer.
+                let mut p = 0;
+                loop {
+                    if p == n {
+                        break;
+                    }
+                    choice[p] += 1;
+                    if choice[p] < (1u64 << frees[p].len()) {
+                        break;
+                    }
+                    choice[p] = 0;
+                    p += 1;
+                }
+                if p == n {
+                    break;
+                }
+            }
+        }
+        // Advance the input odometer.
+        let mut p = 0;
+        loop {
+            if p == n {
+                break 'inputs;
+            }
+            inputs[p] += 1;
+            if inputs[p] < values {
+                break;
+            }
+            inputs[p] = 0;
+            p += 1;
+        }
+    }
+
+    solve_csp(views, executions, k, node_budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksa_models::named;
+
+    const EXECS: usize = 2_000_000;
+    const NODES: usize = 50_000_000;
+
+    #[test]
+    fn kernel_n3_boundary() {
+        // Stars s=1, n=3: Thm 5.4 says 2-set impossible; γ_eq = 3 says
+        // 3-set solvable. The decision procedure finds exactly that
+        // boundary.
+        let m = named::star_unions(3, 1).unwrap();
+        let s2 = decide_one_round(&m, 2, 2, EXECS, NODES).unwrap();
+        assert_eq!(s2, Solvability::Unsolvable);
+        let s3 = decide_one_round(&m, 3, 3, EXECS, NODES).unwrap();
+        assert!(s3.is_solvable());
+    }
+
+    #[test]
+    fn ring_n3_boundary() {
+        // Sym(C3): γ_eq(C3) = 2 upper; Thm 5.4 l+1 = 1: consensus
+        // impossible; 2-set solvable.
+        let m = named::symmetric_ring(3).unwrap();
+        let s1 = decide_one_round(&m, 1, 1, EXECS, NODES).unwrap();
+        assert_eq!(s1, Solvability::Unsolvable);
+        let s2 = decide_one_round(&m, 2, 2, EXECS, NODES).unwrap();
+        assert!(s2.is_solvable());
+    }
+
+    #[test]
+    fn stars_n3_s2_solves_2set() {
+        // n=3, s=2: upper n−s+1 = 2, lower n−s = 1 impossible.
+        let m = named::star_unions(3, 2).unwrap();
+        assert_eq!(
+            decide_one_round(&m, 1, 1, EXECS, NODES).unwrap(),
+            Solvability::Unsolvable
+        );
+        assert!(decide_one_round(&m, 2, 2, EXECS, NODES)
+            .unwrap()
+            .is_solvable());
+    }
+
+    #[test]
+    fn witness_is_a_working_algorithm() {
+        use ksa_graphs::closure::enumerate_closure;
+        let m = named::star_unions(3, 2).unwrap();
+        let Solvability::Solvable(map) = decide_one_round(&m, 2, 2, EXECS, NODES).unwrap()
+        else {
+            panic!("solvable");
+        };
+        assert!(!map.is_empty());
+        // Replay the witness over the whole model: never more than 2
+        // distinct decisions, always valid.
+        let mut graphs = Vec::new();
+        for g in m.generators() {
+            graphs.extend(enumerate_closure(g, 1 << 10).unwrap());
+        }
+        graphs.sort();
+        graphs.dedup();
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                for c in 0..3u32 {
+                    let inputs = [a, b, c];
+                    for g in &graphs {
+                        let mut decs: Vec<Value> = Vec::new();
+                        for p in 0..3 {
+                            let view: Vec<(usize, Value)> = g
+                                .in_set(p)
+                                .iter()
+                                .map(|q| (q, inputs[q]))
+                                .collect();
+                            let d = map.decide(&view).expect("reachable view");
+                            assert!(inputs.contains(&d), "validity");
+                            decs.push(d);
+                        }
+                        decs.sort_unstable();
+                        decs.dedup();
+                        assert!(decs.len() <= 2, "agreement");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clique_solves_consensus() {
+        let m = ksa_models::ClosedAboveModel::new(vec![
+            ksa_graphs::Digraph::complete(3).unwrap(),
+        ])
+        .unwrap();
+        assert!(decide_one_round(&m, 1, 1, EXECS, NODES)
+            .unwrap()
+            .is_solvable());
+    }
+
+    #[test]
+    fn simple_ring_matches_thm_5_1() {
+        // ↑C3: γ(C3) = 2; 1-set impossible, 2-set solvable — including by
+        // the synthesized map.
+        let m = named::simple_ring(3).unwrap();
+        assert_eq!(
+            decide_one_round(&m, 1, 1, EXECS, NODES).unwrap(),
+            Solvability::Unsolvable
+        );
+        assert!(decide_one_round(&m, 2, 2, EXECS, NODES)
+            .unwrap()
+            .is_solvable());
+    }
+
+    #[test]
+    fn parameters_validated() {
+        let m = named::simple_ring(3).unwrap();
+        assert!(decide_one_round(&m, 0, 1, EXECS, NODES).is_err());
+        // Tiny execution budget trips the guard.
+        assert!(decide_one_round(&m, 2, 2, 1, NODES).is_err());
+    }
+}
+
+/// Multi-round exact solvability over an **explicit** graph set: the model
+/// plays any graph of `graphs` each round; an `r`-round oblivious
+/// algorithm decides from the flat view after `r` rounds. Enumerates all
+/// `|graphs|^r` schedules (budgeted) — exact for explicit models, and for
+/// closed-above models when `graphs` enumerates the closure(s)
+/// (small `n`).
+///
+/// # Errors
+///
+/// [`CoreError::BadParameter`] for zero `k`/`r`/empty graphs;
+/// [`CoreError::Topology`] (budget) when the schedule × input space
+/// exceeds `exec_limit`.
+pub fn decide_rounds_explicit(
+    graphs: &[ksa_graphs::Digraph],
+    k: usize,
+    value_max: usize,
+    rounds: usize,
+    exec_limit: usize,
+    node_budget: usize,
+) -> Result<Solvability, CoreError> {
+    if k == 0 || rounds == 0 || graphs.is_empty() {
+        return Err(CoreError::BadParameter {
+            name: "k/rounds/graphs",
+            value: 0,
+            domain: "non-zero / non-empty",
+        });
+    }
+    let n = graphs[0].n();
+    let values = value_max as Value + 1;
+    let schedules = (graphs.len() as u128)
+        .checked_pow(rounds as u32)
+        .unwrap_or(u128::MAX);
+    let inputs_count = (values as u128).checked_pow(n as u32).unwrap_or(u128::MAX);
+    if schedules.saturating_mul(inputs_count) > exec_limit as u128 {
+        return Err(CoreError::Topology(ksa_topology::TopologyError::TooLarge {
+            what: "multi-round solvability executions",
+            estimated: schedules.saturating_mul(inputs_count),
+            limit: exec_limit as u128,
+        }));
+    }
+
+    // Precompute the product graph of every schedule (who heard whom after
+    // r rounds), deduplicated — flat views only depend on the product.
+    let mut products: Vec<ksa_graphs::Digraph> = Vec::new();
+    {
+        let mut seen = std::collections::HashSet::new();
+        let mut idx = vec![0usize; rounds];
+        loop {
+            let mut acc = ksa_graphs::Digraph::empty(n)?;
+            for &i in &idx {
+                acc = ksa_graphs::product::product(&acc, &graphs[i])?;
+            }
+            if seen.insert(acc.encode()) {
+                products.push(acc);
+            }
+            let mut p = 0;
+            loop {
+                if p == rounds {
+                    break;
+                }
+                idx[p] += 1;
+                if idx[p] < graphs.len() {
+                    break;
+                }
+                idx[p] = 0;
+                p += 1;
+            }
+            if p == rounds {
+                break;
+            }
+        }
+    }
+
+    // Views and executions over the deduplicated products.
+    let mut view_ids: HashMap<FlatView<Value>, u32> = HashMap::new();
+    let mut views: Vec<FlatView<Value>> = Vec::new();
+    let mut executions: Vec<Vec<u32>> = Vec::new();
+    let mut seen_exec = std::collections::HashSet::new();
+    let mut inputs = vec![0 as Value; n];
+    'inputs: loop {
+        for g in &products {
+            let mut exec: Vec<u32> = Vec::with_capacity(n);
+            for p in 0..n {
+                let view: FlatView<Value> =
+                    g.in_set(p).iter().map(|q| (q, inputs[q])).collect();
+                let next_id = views.len() as u32;
+                let id = *view_ids.entry(view.clone()).or_insert_with(|| {
+                    views.push(view);
+                    next_id
+                });
+                exec.push(id);
+            }
+            exec.sort_unstable();
+            exec.dedup();
+            if seen_exec.insert(exec.clone()) {
+                executions.push(exec);
+            }
+        }
+        let mut p = 0;
+        loop {
+            if p == n {
+                break 'inputs;
+            }
+            inputs[p] += 1;
+            if inputs[p] < values {
+                break;
+            }
+            inputs[p] = 0;
+            p += 1;
+        }
+    }
+    solve_csp(views, executions, k, node_budget)
+}
+
+/// Shared CSP core for the one-round and multi-round deciders.
+fn solve_csp(
+    views: Vec<FlatView<Value>>,
+    executions: Vec<Vec<u32>>,
+    k: usize,
+    node_budget: usize,
+) -> Result<Solvability, CoreError> {
+    let candidates: Vec<Vec<Value>> = views
+        .iter()
+        .map(|v| {
+            let mut vals: Vec<Value> = v.iter().map(|&(_, val)| val).collect();
+            vals.sort_unstable();
+            vals.dedup();
+            vals
+        })
+        .collect();
+    let mut exec_of_view: Vec<Vec<u32>> = vec![Vec::new(); views.len()];
+    for (ei, e) in executions.iter().enumerate() {
+        for &v in e {
+            exec_of_view[v as usize].push(ei as u32);
+        }
+    }
+    let mut order: Vec<usize> = (0..views.len()).collect();
+    order.sort_by_key(|&v| (candidates[v].len(), std::cmp::Reverse(exec_of_view[v].len())));
+
+    fn exec_ok(
+        e: &[u32],
+        assignment: &[Option<Value>],
+        candidates: &[Vec<Value>],
+        k: usize,
+    ) -> bool {
+        let mut seen: Vec<Value> = Vec::with_capacity(k + 1);
+        let mut unassigned: Vec<u32> = Vec::new();
+        for &v in e {
+            match assignment[v as usize] {
+                Some(val) => {
+                    if !seen.contains(&val) {
+                        seen.push(val);
+                    }
+                }
+                None => unassigned.push(v),
+            }
+        }
+        if seen.len() > k {
+            return false;
+        }
+        if seen.len() == k {
+            for v in unassigned {
+                if !candidates[v as usize].iter().any(|c| seen.contains(c)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        depth: usize,
+        order: &[usize],
+        assignment: &mut Vec<Option<Value>>,
+        candidates: &[Vec<Value>],
+        exec_of_view: &[Vec<u32>],
+        executions: &[Vec<u32>],
+        k: usize,
+        nodes: &mut usize,
+        budget: usize,
+    ) -> Option<bool> {
+        if depth == order.len() {
+            return Some(true);
+        }
+        *nodes += 1;
+        if *nodes > budget {
+            return None;
+        }
+        let v = order[depth];
+        for &val in &candidates[v] {
+            assignment[v] = Some(val);
+            let consistent = exec_of_view[v]
+                .iter()
+                .all(|&ei| exec_ok(&executions[ei as usize], assignment, candidates, k));
+            if consistent {
+                match dfs(
+                    depth + 1,
+                    order,
+                    assignment,
+                    candidates,
+                    exec_of_view,
+                    executions,
+                    k,
+                    nodes,
+                    budget,
+                ) {
+                    Some(true) => return Some(true),
+                    Some(false) => {}
+                    None => {
+                        assignment[v] = None;
+                        return None;
+                    }
+                }
+            }
+            assignment[v] = None;
+        }
+        Some(false)
+    }
+
+    let mut assignment: Vec<Option<Value>> = vec![None; views.len()];
+    let mut nodes = 0usize;
+    match dfs(
+        0,
+        &order,
+        &mut assignment,
+        &candidates,
+        &exec_of_view,
+        &executions,
+        k,
+        &mut nodes,
+        node_budget,
+    ) {
+        None => Ok(Solvability::Unknown),
+        Some(false) => Ok(Solvability::Unsolvable),
+        Some(true) => {
+            let mut entries: Vec<(FlatView<Value>, Value)> = views
+                .into_iter()
+                .zip(assignment)
+                .map(|(v, a)| (v, a.expect("complete assignment")))
+                .collect();
+            entries.sort();
+            Ok(Solvability::Solvable(DecisionMap { entries }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod multi_round_tests {
+    use super::*;
+    use ksa_graphs::closure::enumerate_closure;
+    use ksa_graphs::families;
+    use ksa_models::named;
+
+    const EXECS: usize = 5_000_000;
+    const NODES: usize = 50_000_000;
+
+    fn closure_of(model: &ksa_models::ClosedAboveModel) -> Vec<ksa_graphs::Digraph> {
+        let mut graphs = Vec::new();
+        for g in model.generators() {
+            graphs.extend(enumerate_closure(g, 1 << 12).unwrap());
+        }
+        graphs.sort();
+        graphs.dedup();
+        graphs
+    }
+
+    #[test]
+    fn simple_ring_two_rounds_consensus() {
+        // γ(C3²) = γ(K3) = 1: consensus solvable in two rounds on ↑C3
+        // (Thm 6.3); and still impossible in one (Thm 5.1).
+        let m = named::simple_ring(3).unwrap();
+        let graphs = closure_of(&m);
+        let one = decide_rounds_explicit(&graphs, 1, 1, 1, EXECS, NODES).unwrap();
+        assert_eq!(one, Solvability::Unsolvable);
+        let two = decide_rounds_explicit(&graphs, 1, 1, 2, EXECS, NODES).unwrap();
+        assert!(two.is_solvable());
+    }
+
+    #[test]
+    fn one_round_agrees_with_dedicated_decider() {
+        // The explicit-path decider must agree with the factorized
+        // one-round decider.
+        let m = named::star_unions(3, 2).unwrap();
+        let graphs = closure_of(&m);
+        let explicit = decide_rounds_explicit(&graphs, 2, 2, 1, EXECS, NODES).unwrap();
+        let direct = decide_one_round(&m, 2, 2, EXECS, NODES).unwrap();
+        assert_eq!(explicit.is_solvable(), direct.is_solvable());
+        assert!(explicit.is_solvable());
+        let explicit1 = decide_rounds_explicit(&graphs, 1, 1, 1, EXECS, NODES).unwrap();
+        let direct1 = decide_one_round(&m, 1, 1, EXECS, NODES).unwrap();
+        assert_eq!(explicit1, Solvability::Unsolvable);
+        assert_eq!(direct1, Solvability::Unsolvable);
+    }
+
+    #[test]
+    fn kernel_stays_hard_with_more_rounds() {
+        // Star unions: (n−s)-set agreement impossible at any round count
+        // (Thm 6.13) — machine-checked at r = 2 for n = 3, s = 1.
+        let m = named::star_unions(3, 1).unwrap();
+        let graphs = closure_of(&m);
+        let r2 = decide_rounds_explicit(&graphs, 2, 2, 2, EXECS, NODES).unwrap();
+        assert_eq!(r2, Solvability::Unsolvable);
+    }
+
+    #[test]
+    fn loops_only_never_agrees() {
+        // The one-graph model with loops only: every process is isolated;
+        // k < n impossible at any r, k = n trivially solvable.
+        let g = families::clique(1).unwrap();
+        let _ = g;
+        let lonely = vec![ksa_graphs::Digraph::empty(3).unwrap()];
+        for r in 1..=2 {
+            assert_eq!(
+                decide_rounds_explicit(&lonely, 2, 2, r, EXECS, NODES).unwrap(),
+                Solvability::Unsolvable,
+                "r = {r}"
+            );
+            assert!(decide_rounds_explicit(&lonely, 3, 3, r, EXECS, NODES)
+                .unwrap()
+                .is_solvable());
+        }
+    }
+
+    #[test]
+    fn budgets_and_parameters() {
+        let g = vec![ksa_graphs::Digraph::complete(3).unwrap()];
+        assert!(decide_rounds_explicit(&g, 0, 1, 1, EXECS, NODES).is_err());
+        assert!(decide_rounds_explicit(&g, 1, 1, 0, EXECS, NODES).is_err());
+        assert!(decide_rounds_explicit(&[], 1, 1, 1, EXECS, NODES).is_err());
+        assert!(decide_rounds_explicit(&g, 1, 3, 1, 2, NODES).is_err());
+    }
+}

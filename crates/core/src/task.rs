@@ -1,0 +1,195 @@
+//! The k-set agreement task (Chaudhuri \[10\] in the paper's references).
+//!
+//! Every process starts with an input value and must decide a value such
+//! that
+//!
+//! * **validity** — every decided value is some process's input, and
+//! * **k-agreement** — at most `k` distinct values are decided.
+//!
+//! `k = 1` is consensus. The paper's lower bounds work over the chromatic
+//! input complex `Ψ(Π, [0, k])` (each process independently starts with a
+//! value in `{0, …, k}`), built here as a pseudosphere.
+
+use crate::error::CoreError;
+use ksa_topology::complex::Complex;
+use ksa_topology::pseudosphere::Pseudosphere;
+
+/// Input/decision values. The set-agreement algorithms assume the usual
+/// total order on values (they decide minima).
+pub type Value = u32;
+
+/// A violation of the k-set agreement specification, as reported by
+/// [`KSetTask::check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A process decided a value nobody started with.
+    Validity {
+        /// The offending process.
+        proc: usize,
+        /// The decided value.
+        decided: Value,
+    },
+    /// More than `k` distinct values were decided.
+    Agreement {
+        /// The number of distinct decided values.
+        distinct: usize,
+        /// The bound `k`.
+        k: usize,
+    },
+}
+
+/// The k-set agreement task on `n` processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KSetTask {
+    /// Number of processes.
+    pub n: usize,
+    /// Agreement degree: at most `k` distinct decisions.
+    pub k: usize,
+}
+
+impl KSetTask {
+    /// Creates the task.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadParameter`] unless `1 ≤ k` and `1 ≤ n`.
+    pub fn new(n: usize, k: usize) -> Result<Self, CoreError> {
+        if n == 0 {
+            return Err(CoreError::BadParameter {
+                name: "n",
+                value: n,
+                domain: "[1, 64]",
+            });
+        }
+        if k == 0 {
+            return Err(CoreError::BadParameter {
+                name: "k",
+                value: k,
+                domain: "[1, n]",
+            });
+        }
+        Ok(KSetTask { n, k })
+    }
+
+    /// Checks one execution's inputs/decisions against the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Violation`] found (validity violations are
+    /// reported before agreement violations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` and `decisions` are not both of length `n`.
+    pub fn check(&self, inputs: &[Value], decisions: &[Value]) -> Result<(), Violation> {
+        assert_eq!(inputs.len(), self.n);
+        assert_eq!(decisions.len(), self.n);
+        for (p, &d) in decisions.iter().enumerate() {
+            if !inputs.contains(&d) {
+                return Err(Violation::Validity { proc: p, decided: d });
+            }
+        }
+        let mut distinct: Vec<Value> = decisions.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        if distinct.len() > self.k {
+            return Err(Violation::Agreement {
+                distinct: distinct.len(),
+                k: self.k,
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of distinct decided values (the quantity the bounds are
+    /// about).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decisions.len() != n`.
+    pub fn distinct_decisions(&self, decisions: &[Value]) -> usize {
+        assert_eq!(decisions.len(), self.n);
+        let mut d = decisions.to_vec();
+        d.sort_unstable();
+        d.dedup();
+        d.len()
+    }
+}
+
+/// The chromatic input complex `Ψ(Π, [0, k])` (App. B): each of the `n`
+/// processes holds any value in `{0, …, k}` — a pseudosphere, hence pure of
+/// dimension `n − 1` and `(n−2)`-connected (Lemma 4.7).
+///
+/// # Errors
+///
+/// [`CoreError::Topology`] if the complex exceeds `facet_limit` facets
+/// (`(k+1)^n` facets total).
+pub fn input_complex(n: usize, k: usize, facet_limit: u128) -> Result<Complex<Value>, CoreError> {
+    let ps = Pseudosphere::new(
+        (0..n)
+            .map(|p| (p, (0..=k as Value).collect::<Vec<Value>>()))
+            .collect(),
+    )
+    .expect("distinct colors");
+    Ok(ps.try_to_complex(facet_limit)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksa_topology::connectivity::is_k_connected;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(KSetTask::new(3, 1).is_ok());
+        assert!(KSetTask::new(0, 1).is_err());
+        assert!(KSetTask::new(3, 0).is_err());
+    }
+
+    #[test]
+    fn check_accepts_valid_execution() {
+        let t = KSetTask::new(3, 2).unwrap();
+        assert_eq!(t.check(&[5, 7, 9], &[5, 5, 7]), Ok(()));
+        assert_eq!(t.check(&[5, 7, 9], &[9, 9, 9]), Ok(()));
+    }
+
+    #[test]
+    fn check_rejects_invalid_value() {
+        let t = KSetTask::new(2, 2).unwrap();
+        assert_eq!(
+            t.check(&[1, 2], &[1, 3]),
+            Err(Violation::Validity { proc: 1, decided: 3 })
+        );
+    }
+
+    #[test]
+    fn check_rejects_too_many_values() {
+        let t = KSetTask::new(3, 1).unwrap();
+        assert_eq!(
+            t.check(&[1, 2, 3], &[1, 2, 1]),
+            Err(Violation::Agreement { distinct: 2, k: 1 })
+        );
+    }
+
+    #[test]
+    fn distinct_count() {
+        let t = KSetTask::new(4, 2).unwrap();
+        assert_eq!(t.distinct_decisions(&[3, 3, 1, 3]), 2);
+        assert_eq!(t.distinct_decisions(&[2, 2, 2, 2]), 1);
+    }
+
+    #[test]
+    fn input_complex_shape() {
+        // Ψ(3 procs, [0,1]): 2^3 = 8 facets, pure dim 2, 1-connected.
+        let c = input_complex(3, 1, 10_000).unwrap();
+        assert_eq!(c.facet_count(), 8);
+        assert!(c.is_pure());
+        assert_eq!(c.dim(), 2);
+        assert!(is_k_connected(&c, 1));
+    }
+
+    #[test]
+    fn input_complex_budget() {
+        assert!(input_complex(10, 9, 1000).is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Covering numbers `cov_i` (Def 3.6).
+//!
+//! The `i`-th covering number of `G` is the *guaranteed* audience of any
+//! `i` processes: `cov_i(G) = min_{|P| = i} |⋃_{p∈P} Out(p)|`. For a set of
+//! graphs, `cov_i(S) = min_{G ∈ S} cov_i(G)` — the adversary picks the
+//! generator.
+//!
+//! These numbers power the upper bound of Thm 3.7: the `i` smallest input
+//! values are guaranteed to reach `cov_i(S)` processes after one round, so
+//! `(i + (n − cov_i(S)))`-set agreement is solvable.
+//!
+//! We implement Def 3.6 **literally**: no `≠ Π` side condition (that
+//! condition belongs to `max-cov`, Def 5.3). With self-loops this gives
+//! `cov_i ≥ i` always. See DESIGN.md for the discussion of the paper's
+//! loose prose about stars.
+
+use crate::digraph::Digraph;
+use crate::error::GraphError;
+
+/// The `i`-th covering number `cov_i(G)` (Def 3.6).
+///
+/// `i` ranges over `[1, n]` (at `i = n` the value is `n` by self-loops).
+/// Complexity `O(C(n, i) · i)`.
+///
+/// # Errors
+///
+/// [`GraphError::IndexOutOfDomain`] when `i` is `0` or exceeds `n`.
+///
+/// # Examples
+///
+/// ```
+/// use ksa_graphs::{families, covering::covering_number};
+///
+/// let c = families::cycle(4).unwrap();
+/// // Any 2 processes of a directed 4-cycle reach at least 3 processes.
+/// assert_eq!(covering_number(&c, 2).unwrap(), 3);
+/// ```
+pub fn covering_number(g: &Digraph, i: usize) -> Result<usize, GraphError> {
+    let n = g.n();
+    if i == 0 || i > n {
+        return Err(GraphError::IndexOutOfDomain {
+            index: i,
+            domain: "[1, n]",
+        });
+    }
+    let mut best = n;
+    for p in g.procs().k_subsets(i) {
+        let size = g.out_union(p).len();
+        if size < best {
+            best = size;
+            if best == i {
+                break; // cov_i ≥ i by self-loops: cannot improve.
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// The `i`-th covering number of a set: `cov_i(S) = min_{G ∈ S} cov_i(G)`
+/// (Def 3.6).
+///
+/// # Errors
+///
+/// [`GraphError::EmptyGraphSet`] when `graphs` is empty, plus the
+/// conditions of [`covering_number`].
+pub fn covering_number_of_set(graphs: &[Digraph], i: usize) -> Result<usize, GraphError> {
+    if graphs.is_empty() {
+        return Err(GraphError::EmptyGraphSet);
+    }
+    let mut best = usize::MAX;
+    for g in graphs {
+        best = best.min(covering_number(g, i)?);
+        if best == i {
+            break;
+        }
+    }
+    Ok(best)
+}
+
+/// All covering numbers `cov_1(G), …, cov_n(G)` in one sweep (shares the
+/// subset scans; used by the bench harness and the covering sequences).
+pub fn covering_profile(g: &Digraph) -> Vec<usize> {
+    (1..=g.n())
+        .map(|i| covering_number(g, i).expect("i in [1, n]"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+    use crate::proc_set::ProcSet;
+
+    #[test]
+    fn index_domain_checked() {
+        let g = Digraph::empty(3).unwrap();
+        assert!(covering_number(&g, 0).is_err());
+        assert!(covering_number(&g, 4).is_err());
+        assert!(covering_number(&g, 3).is_ok());
+    }
+
+    #[test]
+    fn loops_only_graph_covers_exactly_i() {
+        let g = Digraph::empty(5).unwrap();
+        for i in 1..=5 {
+            assert_eq!(covering_number(&g, i).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn clique_covers_everything() {
+        let g = Digraph::complete(5).unwrap();
+        for i in 1..=5 {
+            assert_eq!(covering_number(&g, i).unwrap(), 5);
+        }
+    }
+
+    #[test]
+    fn star_covers_exactly_i() {
+        // §3.2 example, per the literal Def 3.6: i leaves cover exactly
+        // themselves, so cov_i = i for i < n.
+        let g = families::broadcast_star(5, 0).unwrap();
+        for i in 1..5 {
+            assert_eq!(covering_number(&g, i).unwrap(), i, "i = {i}");
+        }
+        assert_eq!(covering_number(&g, 5).unwrap(), 5);
+    }
+
+    #[test]
+    fn directed_cycle_covers_i_plus_one() {
+        // i consecutive processes reach i+1 processes; spreading them out
+        // only reaches more. cov_i(C_n) = min(i + 1, n)... for i < n it is
+        // i + 1 only when the i processes can be consecutive.
+        for n in 3..8 {
+            let c = families::cycle(n).unwrap();
+            for i in 1..n {
+                assert_eq!(covering_number(&c, i).unwrap(), i + 1, "n={n}, i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig1_second_graph_cov2_is_3() {
+        // The reconstruction target (§3.2): cov_2 = 3.
+        let g = families::fig1_second_graph();
+        assert_eq!(covering_number(&g, 2).unwrap(), 3);
+        // Every process has out-degree 2 (itself + one target), so cov_1 = 2.
+        assert_eq!(covering_number(&g, 1).unwrap(), 2);
+    }
+
+    #[test]
+    fn set_version_takes_min() {
+        let s = vec![
+            Digraph::complete(4).unwrap(), // cov_2 = 4
+            families::cycle(4).unwrap(),   // cov_2 = 3
+        ];
+        assert_eq!(covering_number_of_set(&s, 2).unwrap(), 3);
+        assert!(covering_number_of_set(&[], 2).is_err());
+    }
+
+    #[test]
+    fn symmetric_closure_preserves_covering() {
+        use crate::perm::symmetric_closure;
+        // cov_i is permutation-invariant, so cov_i(Sym({G})) = cov_i(G)
+        // (Cor 3.8's justification).
+        let g = families::fig1_second_graph();
+        let sym = symmetric_closure(std::slice::from_ref(&g)).unwrap();
+        for i in 1..4 {
+            assert_eq!(
+                covering_number_of_set(&sym, i).unwrap(),
+                covering_number(&g, i).unwrap(),
+                "i = {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn covering_monotone_in_i() {
+        // Adding a process to P can only increase the audience.
+        let graphs = vec![
+            families::cycle(6).unwrap(),
+            families::fig1_second_graph(),
+            families::binary_out_tree(7).unwrap(),
+        ];
+        for g in graphs {
+            let prof = covering_profile(&g);
+            for w in prof.windows(2) {
+                assert!(w[0] <= w[1], "profile {prof:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn covering_monotone_under_edges() {
+        let small = families::path(5).unwrap();
+        let mut big = small.clone();
+        big.add_edge(4, 0).unwrap();
+        for i in 1..=5 {
+            assert!(
+                covering_number(&big, i).unwrap() >= covering_number(&small, i).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn profile_via_out_union() {
+        // Spot-check cov_2 of the matching by hand.
+        let g = families::forward_matching(4).unwrap(); // 0→1, 2→3
+        // P = {1, 3}: both silent, audience = themselves.
+        assert_eq!(g.out_union(ProcSet::from_iter([1usize, 3])).len(), 2);
+        assert_eq!(covering_number(&g, 2).unwrap(), 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! The equal-domination number `γ_eq` (Def 3.3).
+//!
+//! `γ_eq(G)` is the least `i` such that **every** set of `i` processes
+//! dominates `G`; `γ_eq(S) = max_{G ∈ S} γ_eq(G)`. Since the adversary of a
+//! general closed-above model picks the generator, an algorithm can only
+//! rely on sets that dominate *all* generators — hence the `max` (contrast
+//! with `γ_dist`, Def 5.2, which takes a `min`-flavored view for lower
+//! bounds).
+//!
+//! A closed form: `P` fails to dominate iff some process `q` hears from no
+//! member of `P`, i.e. `P ∩ In(q) = ∅`. The largest failing `P` is
+//! `Π \ In(q)` for the `q` of minimum in-degree, so
+//!
+//! ```text
+//! γ_eq(G) = n − min_q |In(q)| + 1
+//! ```
+//!
+//! which this module computes in `O(n²)` (and cross-checks against the
+//! brute-force definition in tests).
+
+use crate::digraph::Digraph;
+use crate::error::GraphError;
+
+/// The equal-domination number `γ_eq(G)` of a single graph (Def 3.3).
+///
+/// # Examples
+///
+/// ```
+/// use ksa_graphs::{families, equal_domination::equal_domination_number};
+///
+/// // The star center hears only from itself, so only Π itself is
+/// // guaranteed to dominate: γ_eq = n (§3.2).
+/// let star = families::broadcast_star(4, 0).unwrap();
+/// assert_eq!(equal_domination_number(&star), 4);
+/// ```
+pub fn equal_domination_number(g: &Digraph) -> usize {
+    g.n() - g.min_in_degree() + 1
+}
+
+/// The equal-domination number `γ_eq(S) = max_{G ∈ S} γ_eq(G)` of a set of
+/// graphs (Def 3.3).
+///
+/// # Errors
+///
+/// [`GraphError::EmptyGraphSet`] if `graphs` is empty.
+pub fn equal_domination_number_of_set(graphs: &[Digraph]) -> Result<usize, GraphError> {
+    graphs
+        .iter()
+        .map(equal_domination_number)
+        .max()
+        .ok_or(GraphError::EmptyGraphSet)
+}
+
+/// Brute-force `γ_eq(G)` straight from Def 3.3 (every `i`-subset must
+/// dominate). Exponential; exported for differential testing and the bench
+/// harness.
+pub fn equal_domination_number_brute(g: &Digraph) -> usize {
+    let n = g.n();
+    for i in 1..=n {
+        if g.procs().k_subsets(i).all(|p| g.dominates(p)) {
+            return i;
+        }
+    }
+    unreachable!("i = n always dominates thanks to self-loops")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+    use crate::proc_set::ProcSet;
+
+    #[test]
+    fn closed_form_matches_brute_force() {
+        let graphs = vec![
+            Digraph::empty(4).unwrap(),
+            Digraph::complete(4).unwrap(),
+            families::cycle(4).unwrap(),
+            families::cycle(5).unwrap(),
+            families::path(5).unwrap(),
+            families::broadcast_star(4, 0).unwrap(),
+            families::broadcast_stars(5, ProcSet::from_iter([0usize, 2])).unwrap(),
+            families::in_star(4, 1).unwrap(),
+            families::fig1_second_graph(),
+            families::fig2_graph(),
+            families::forward_matching(6).unwrap(),
+        ];
+        for g in graphs {
+            assert_eq!(
+                equal_domination_number(&g),
+                equal_domination_number_brute(&g),
+                "graph {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn star_needs_everyone() {
+        // §3.2: "its equal-domination number equals n".
+        for n in 2..7 {
+            let g = families::broadcast_star(n, 0).unwrap();
+            assert_eq!(equal_domination_number(&g), n);
+        }
+    }
+
+    #[test]
+    fn clique_needs_one() {
+        assert_eq!(equal_domination_number(&Digraph::complete(5).unwrap()), 1);
+    }
+
+    #[test]
+    fn empty_graph_needs_everyone() {
+        assert_eq!(equal_domination_number(&Digraph::empty(5).unwrap()), 5);
+    }
+
+    #[test]
+    fn directed_cycle() {
+        // In(q) = {q-1, q}: min in-degree 2, so γ_eq = n − 1.
+        for n in 3..8 {
+            let c = families::cycle(n).unwrap();
+            assert_eq!(equal_domination_number(&c), n - 1, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn fig1_second_graph_value() {
+        // The reconstruction target: γ_eq = 4 (§3.2 of the paper).
+        assert_eq!(equal_domination_number(&families::fig1_second_graph()), 4);
+    }
+
+    #[test]
+    fn set_version_takes_max() {
+        let s = vec![
+            Digraph::complete(4).unwrap(),          // γ_eq = 1
+            families::cycle(4).unwrap(),            // γ_eq = 3
+            families::broadcast_star(4, 2).unwrap(), // γ_eq = 4
+        ];
+        assert_eq!(equal_domination_number_of_set(&s).unwrap(), 4);
+        assert_eq!(
+            equal_domination_number_of_set(&[]),
+            Err(GraphError::EmptyGraphSet)
+        );
+    }
+
+    #[test]
+    fn gamma_eq_at_least_gamma() {
+        use crate::domination::domination_number;
+        let graphs = vec![
+            families::cycle(6).unwrap(),
+            families::path(6).unwrap(),
+            families::fig1_second_graph(),
+            families::broadcast_star(5, 1).unwrap(),
+        ];
+        for g in graphs {
+            assert!(equal_domination_number(&g) >= domination_number(&g));
+        }
+    }
+
+    #[test]
+    fn invariant_under_permutation() {
+        use crate::perm::all_permutations;
+        let g = families::fig1_second_graph();
+        let base = equal_domination_number(&g);
+        for p in all_permutations(4) {
+            assert_eq!(equal_domination_number(&p.apply_graph(&g).unwrap()), base);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Error types for the graph substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by fallible constructors and operations on
+/// [`Digraph`](crate::Digraph) and [`ProcSet`](crate::ProcSet).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A process identifier was at least the number of processes `n`.
+    ProcessOutOfRange {
+        /// The offending process identifier.
+        proc: usize,
+        /// The number of processes of the graph or set involved.
+        n: usize,
+    },
+    /// The requested number of processes exceeds
+    /// [`MAX_PROCS`](crate::MAX_PROCS).
+    TooManyProcesses {
+        /// The requested number of processes.
+        requested: usize,
+    },
+    /// `n = 0` was requested; the paper fixes a non-empty `Π`.
+    EmptyProcessSet,
+    /// Two graphs that must share a process set had different sizes.
+    MismatchedSizes {
+        /// Size of the left-hand graph.
+        left: usize,
+        /// Size of the right-hand graph.
+        right: usize,
+    },
+    /// An operation on a set of graphs received an empty set.
+    EmptyGraphSet,
+    /// A subset-size parameter `i` was outside its documented domain.
+    IndexOutOfDomain {
+        /// The offending parameter.
+        index: usize,
+        /// Human-readable description of the valid domain.
+        domain: &'static str,
+    },
+    /// A permutation was not a bijection on `[0, n)`.
+    InvalidPermutation,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::ProcessOutOfRange { proc, n } => {
+                write!(f, "process p{proc} is out of range for n = {n} processes")
+            }
+            GraphError::TooManyProcesses { requested } => write!(
+                f,
+                "{requested} processes requested but at most {} are supported",
+                crate::MAX_PROCS
+            ),
+            GraphError::EmptyProcessSet => write!(f, "the process set must be non-empty"),
+            GraphError::MismatchedSizes { left, right } => {
+                write!(f, "graphs have different process counts ({left} vs {right})")
+            }
+            GraphError::EmptyGraphSet => write!(f, "the set of graphs must be non-empty"),
+            GraphError::IndexOutOfDomain { index, domain } => {
+                write!(f, "index {index} outside valid domain {domain}")
+            }
+            GraphError::InvalidPermutation => {
+                write!(f, "the permutation is not a bijection on the process set")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errs = [
+            GraphError::ProcessOutOfRange { proc: 7, n: 4 },
+            GraphError::TooManyProcesses { requested: 1000 },
+            GraphError::EmptyProcessSet,
+            GraphError::MismatchedSizes { left: 3, right: 4 },
+            GraphError::EmptyGraphSet,
+            GraphError::IndexOutOfDomain {
+                index: 9,
+                domain: "[1, n]",
+            },
+            GraphError::InvalidPermutation,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_object_usable() {
+        let e: Box<dyn Error + Send + Sync> = Box::new(GraphError::EmptyProcessSet);
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,273 @@
+//! The graph families used throughout the paper.
+//!
+//! * **Broadcast stars** (Def 6.12): a set `S` of centers with edges
+//!   `S × Π`. The paper's flagship lower-bound family (Thm 6.13).
+//! * **Cycles** — the §6.1 product counterexample uses `C6`.
+//! * **Paths, cliques, matchings, in-stars, bidirectional rings** — standard
+//!   connectivity patterns for closed-above safety properties (§2.1).
+//! * The concrete **figure exemplars** of the paper (Fig 1, Fig 2).
+
+use crate::digraph::Digraph;
+use crate::error::GraphError;
+use crate::proc_set::{ProcId, ProcSet};
+
+/// Broadcast star centred at `center`: edges `{center} × Π` plus self-loops
+/// (Def 6.12 with a single center).
+///
+/// # Errors
+///
+/// Propagates size errors; [`GraphError::ProcessOutOfRange`] if
+/// `center >= n`.
+pub fn broadcast_star(n: usize, center: ProcId) -> Result<Digraph, GraphError> {
+    broadcast_stars(n, ProcSet::singleton(center))
+}
+
+/// Union of broadcast stars: edges `S × Π` for the set `S` of `centers`
+/// (Def 6.12). Every center broadcasts to everyone; non-centers stay silent.
+///
+/// # Errors
+///
+/// Propagates size errors; [`GraphError::ProcessOutOfRange`] if a center is
+/// `≥ n`.
+pub fn broadcast_stars(n: usize, centers: ProcSet) -> Result<Digraph, GraphError> {
+    let mut g = Digraph::empty(n)?;
+    centers.check_universe(n)?;
+    for c in centers.iter() {
+        for v in 0..n {
+            g.add_edge(c, v)?;
+        }
+    }
+    Ok(g)
+}
+
+/// In-star centred at `center`: everybody sends to the center
+/// (edges `Π × {center}`), the dual of a broadcast star.
+///
+/// # Errors
+///
+/// Propagates size errors; [`GraphError::ProcessOutOfRange`] if
+/// `center >= n`.
+pub fn in_star(n: usize, center: ProcId) -> Result<Digraph, GraphError> {
+    let mut g = Digraph::empty(n)?;
+    if center >= n {
+        return Err(GraphError::ProcessOutOfRange { proc: center, n });
+    }
+    for u in 0..n {
+        g.add_edge(u, center)?;
+    }
+    Ok(g)
+}
+
+/// Directed cycle `p0 → p1 → … → p(n-1) → p0` (plus self-loops).
+///
+/// # Errors
+///
+/// Propagates size errors.
+pub fn cycle(n: usize) -> Result<Digraph, GraphError> {
+    let mut g = Digraph::empty(n)?;
+    for u in 0..n {
+        g.add_edge(u, (u + 1) % n)?;
+    }
+    Ok(g)
+}
+
+/// Bidirectional ring: edges both ways around the cycle.
+///
+/// # Errors
+///
+/// Propagates size errors.
+pub fn bidirectional_ring(n: usize) -> Result<Digraph, GraphError> {
+    let mut g = cycle(n)?;
+    for u in 0..n {
+        g.add_edge((u + 1) % n, u)?;
+    }
+    Ok(g)
+}
+
+/// Directed path `p0 → p1 → … → p(n-1)` (plus self-loops).
+///
+/// # Errors
+///
+/// Propagates size errors.
+pub fn path(n: usize) -> Result<Digraph, GraphError> {
+    let mut g = Digraph::empty(n)?;
+    for u in 0..n.saturating_sub(1) {
+        g.add_edge(u, u + 1)?;
+    }
+    Ok(g)
+}
+
+/// Perfect matching on consecutive pairs: `p0 → p1, p2 → p3, …`
+/// (odd last process stays silent).
+///
+/// # Errors
+///
+/// Propagates size errors.
+pub fn forward_matching(n: usize) -> Result<Digraph, GraphError> {
+    let mut g = Digraph::empty(n)?;
+    let mut u = 0;
+    while u + 1 < n {
+        g.add_edge(u, u + 1)?;
+        u += 2;
+    }
+    Ok(g)
+}
+
+/// The complete graph (everybody hears everybody); re-exported here for
+/// discoverability next to the other families.
+///
+/// # Errors
+///
+/// Propagates size errors.
+pub fn clique(n: usize) -> Result<Digraph, GraphError> {
+    Digraph::complete(n)
+}
+
+/// A rooted out-arborescence on `n` processes: edges from each node
+/// `u ≥ 1` *from* its parent `(u-1)/2` (binary heap shape), so information at
+/// the root floods down.
+///
+/// # Errors
+///
+/// Propagates size errors.
+pub fn binary_out_tree(n: usize) -> Result<Digraph, GraphError> {
+    let mut g = Digraph::empty(n)?;
+    for u in 1..n {
+        g.add_edge((u - 1) / 2, u)?;
+    }
+    Ok(g)
+}
+
+/// The example graph of **Figure 2** of the paper (3 processes):
+/// `In(p0) = {p0, p2}`, `In(p1) = {p0, p1}`, `In(p2) = {p2}`,
+/// i.e. edges `p2 → p0` and `p0 → p1`.
+///
+/// (The paper indexes processes from 1; we shift to 0-based.)
+pub fn fig2_graph() -> Digraph {
+    Digraph::from_edges(3, &[(2, 0), (0, 1)]).expect("static example is valid")
+}
+
+/// The first **Figure 1** model generator: a broadcast star on 4 processes
+/// (the symmetric closure is taken at the model level).
+pub fn fig1_star() -> Digraph {
+    broadcast_star(4, 0).expect("static example is valid")
+}
+
+/// The second **Figure 1** model generator, reconstructed from the paper's
+/// stated invariants (`n = 4`, `cov_2(S) = 3`, `γ_eq(S) = 4`, see §3.2):
+/// a 3-cycle `p0 → p1 → p2 → p0` plus the edge `p3 → p0`. Process `p3`
+/// hears only from itself, which forces `γ_eq = 4`, while every pair of
+/// processes reaches at least 3 processes, giving `cov_2 = 3`.
+///
+/// The exact drawing in the paper is not recoverable from the text; this
+/// reconstruction provably carries the same combinatorial numbers (verified
+/// in `experiments fig1` and in this crate's tests).
+pub fn fig1_second_graph() -> Digraph {
+    Digraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (3, 0)]).expect("static example is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_star_shape() {
+        let g = broadcast_star(4, 1).unwrap();
+        for v in 0..4 {
+            assert!(g.has_edge(1, v));
+        }
+        assert_eq!(g.out_set(0), ProcSet::singleton(0));
+        assert_eq!(g.in_set(1), ProcSet::singleton(1), "center hears only itself");
+        assert_eq!(g.proper_edge_count(), 3);
+    }
+
+    #[test]
+    fn broadcast_stars_union() {
+        let g = broadcast_stars(5, ProcSet::from_iter([0usize, 2])).unwrap();
+        assert!(g.dominates(ProcSet::singleton(0)));
+        assert!(g.dominates(ProcSet::singleton(2)));
+        assert!(!g.dominates(ProcSet::singleton(1)));
+        assert_eq!(g.proper_edge_count(), 8);
+    }
+
+    #[test]
+    fn broadcast_stars_rejects_stray_center() {
+        assert!(broadcast_stars(3, ProcSet::singleton(5)).is_err());
+    }
+
+    #[test]
+    fn in_star_shape() {
+        let g = in_star(4, 2).unwrap();
+        for u in 0..4 {
+            assert!(g.has_edge(u, 2));
+        }
+        assert_eq!(g.in_set(2), ProcSet::full(4));
+        assert_eq!(g.out_set(0), ProcSet::from_iter([0usize, 2]));
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(4).unwrap();
+        assert!(g.has_edge(0, 1) && g.has_edge(3, 0));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.proper_edge_count(), 4);
+        // n = 1: the wrap-around edge is the self-loop.
+        let g1 = cycle(1).unwrap();
+        assert_eq!(g1.proper_edge_count(), 0);
+    }
+
+    #[test]
+    fn bidirectional_ring_shape() {
+        let g = bidirectional_ring(4).unwrap();
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert_eq!(g.proper_edge_count(), 8);
+    }
+
+    #[test]
+    fn path_shape() {
+        let g = path(4).unwrap();
+        assert!(g.has_edge(0, 1) && g.has_edge(2, 3));
+        assert!(!g.has_edge(3, 0));
+        assert_eq!(g.proper_edge_count(), 3);
+        assert_eq!(path(1).unwrap().proper_edge_count(), 0);
+    }
+
+    #[test]
+    fn forward_matching_shape() {
+        let g = forward_matching(5).unwrap();
+        assert!(g.has_edge(0, 1) && g.has_edge(2, 3));
+        assert!(!g.has_edge(4, 0));
+        assert_eq!(g.proper_edge_count(), 2);
+    }
+
+    #[test]
+    fn binary_out_tree_floods_from_root() {
+        let g = binary_out_tree(7).unwrap();
+        assert!(g.has_edge(0, 1) && g.has_edge(0, 2) && g.has_edge(1, 3));
+        assert_eq!(g.in_set(0), ProcSet::singleton(0));
+    }
+
+    #[test]
+    fn fig2_views_match_paper() {
+        let g = fig2_graph();
+        assert_eq!(g.in_set(0), ProcSet::from_iter([0usize, 2]));
+        assert_eq!(g.in_set(1), ProcSet::from_iter([0usize, 1]));
+        assert_eq!(g.in_set(2), ProcSet::singleton(2));
+    }
+
+    #[test]
+    fn fig1_second_graph_invariants() {
+        let g = fig1_second_graph();
+        // p3 hears only from itself → no 3-set containing everything but p3
+        // can dominate.
+        assert_eq!(g.in_set(3), ProcSet::singleton(3));
+        // Every pair reaches at least 3 processes.
+        for pair in ProcSet::full(4).k_subsets(2) {
+            assert!(g.out_union(pair).len() >= 3, "pair {pair}");
+        }
+        // Some pair reaches exactly 3.
+        assert!(ProcSet::full(4)
+            .k_subsets(2)
+            .any(|pair| g.out_union(pair).len() == 3));
+    }
+}

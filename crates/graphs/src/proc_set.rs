@@ -1,0 +1,558 @@
+//! Bitset representation of subsets of the process set `Π`.
+//!
+//! Every combinatorial number of the paper (`γ_eq`, `cov_i`, `γ_dist`,
+//! `max-cov_i`, …) quantifies over subsets `P ⊆ Π`, so subset scans are the
+//! hot loop of this whole repository. [`ProcSet`] packs a subset of up to 64
+//! processes into a single `u64`, making union/intersection single
+//! instructions and k-subset enumeration a Gosper-style bit trick.
+
+use crate::error::GraphError;
+use std::fmt;
+
+/// Maximum number of processes supported by the bitset representation.
+pub const MAX_PROCS: usize = 64;
+
+/// Identifier of a process: an index in `[0, n)` standing for `p_{i+1}` in
+/// the paper's notation.
+pub type ProcId = usize;
+
+/// A subset of the process set `Π`, packed into a `u64` bitmask.
+///
+/// `ProcSet` does not remember the universe size `n`; operations that need it
+/// (like [`complement`](Self::complement)) take it explicitly. This keeps the
+/// type `Copy` and trivially hashable.
+///
+/// # Examples
+///
+/// ```
+/// use ksa_graphs::ProcSet;
+///
+/// let p = ProcSet::from_iter([0usize, 2]);
+/// assert!(p.contains(0));
+/// assert!(!p.contains(1));
+/// assert_eq!(p.len(), 2);
+/// assert_eq!(p.union(ProcSet::singleton(1)), ProcSet::full(3));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ProcSet(u64);
+
+impl ProcSet {
+    /// The empty set.
+    #[inline]
+    pub const fn empty() -> Self {
+        ProcSet(0)
+    }
+
+    /// The full set `{0, …, n-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_PROCS`.
+    #[inline]
+    pub const fn full(n: usize) -> Self {
+        assert!(n <= MAX_PROCS);
+        if n == MAX_PROCS {
+            ProcSet(u64::MAX)
+        } else {
+            ProcSet((1u64 << n) - 1)
+        }
+    }
+
+    /// The singleton `{p}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= MAX_PROCS`.
+    #[inline]
+    pub const fn singleton(p: ProcId) -> Self {
+        assert!(p < MAX_PROCS);
+        ProcSet(1u64 << p)
+    }
+
+    /// Builds a set from a raw bitmask.
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Self {
+        ProcSet(bits)
+    }
+
+    /// The raw bitmask.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Number of processes in the set.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether `p` belongs to the set.
+    #[inline]
+    pub const fn contains(self, p: ProcId) -> bool {
+        p < MAX_PROCS && (self.0 >> p) & 1 == 1
+    }
+
+    /// Returns the set with `p` inserted.
+    #[inline]
+    pub const fn with(self, p: ProcId) -> Self {
+        assert!(p < MAX_PROCS);
+        ProcSet(self.0 | (1u64 << p))
+    }
+
+    /// Returns the set with `p` removed.
+    #[inline]
+    pub const fn without(self, p: ProcId) -> Self {
+        assert!(p < MAX_PROCS);
+        ProcSet(self.0 & !(1u64 << p))
+    }
+
+    /// Inserts `p` in place. Returns whether the set changed.
+    #[inline]
+    pub fn insert(&mut self, p: ProcId) -> bool {
+        assert!(p < MAX_PROCS);
+        let old = self.0;
+        self.0 |= 1u64 << p;
+        self.0 != old
+    }
+
+    /// Removes `p` in place. Returns whether the set changed.
+    #[inline]
+    pub fn remove(&mut self, p: ProcId) -> bool {
+        assert!(p < MAX_PROCS);
+        let old = self.0;
+        self.0 &= !(1u64 << p);
+        self.0 != old
+    }
+
+    /// Set union.
+    #[inline]
+    pub const fn union(self, other: Self) -> Self {
+        ProcSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub const fn intersection(self, other: Self) -> Self {
+        ProcSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    pub const fn difference(self, other: Self) -> Self {
+        ProcSet(self.0 & !other.0)
+    }
+
+    /// Complement within the universe `{0, …, n-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_PROCS`.
+    #[inline]
+    pub const fn complement(self, n: usize) -> Self {
+        ProcSet(!self.0 & Self::full(n).0)
+    }
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    pub const fn is_subset(self, other: Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Whether `self ⊇ other`.
+    #[inline]
+    pub const fn is_superset(self, other: Self) -> bool {
+        other.is_subset(self)
+    }
+
+    /// Whether the two sets are disjoint.
+    #[inline]
+    pub const fn is_disjoint(self, other: Self) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// The smallest process in the set, if any.
+    #[inline]
+    pub fn min(self) -> Option<ProcId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// The largest process in the set, if any.
+    #[inline]
+    pub fn max(self) -> Option<ProcId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(63 - self.0.leading_zeros() as usize)
+        }
+    }
+
+    /// Iterates over the members in increasing order.
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+
+    /// Validates that all members are below `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::ProcessOutOfRange`] naming the smallest
+    /// offending process.
+    pub fn check_universe(self, n: usize) -> Result<(), GraphError> {
+        let stray = self.difference(Self::full(n.min(MAX_PROCS)));
+        match stray.min() {
+            None => Ok(()),
+            Some(p) => Err(GraphError::ProcessOutOfRange { proc: p, n }),
+        }
+    }
+
+    /// Iterates over **all** subsets of `self` (including the empty set and
+    /// `self` itself), in increasing bitmask order.
+    ///
+    /// This is exponential in `self.len()`; intended for small universes.
+    pub fn subsets(self) -> Subsets {
+        Subsets {
+            universe: self.0,
+            current: 0,
+            done: false,
+        }
+    }
+
+    /// Iterates over all subsets of `self` with exactly `k` members, in
+    /// lexicographic order of their member lists.
+    ///
+    /// Yields nothing when `k > self.len()`.
+    pub fn k_subsets(self, k: usize) -> KSubsets {
+        let members: Vec<ProcId> = self.iter().collect();
+        let done = k > members.len();
+        KSubsets {
+            members,
+            indices: (0..k).collect(),
+            done,
+            fresh: true,
+        }
+    }
+}
+
+impl FromIterator<ProcId> for ProcSet {
+    fn from_iter<I: IntoIterator<Item = ProcId>>(iter: I) -> Self {
+        let mut s = ProcSet::empty();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl Extend<ProcId> for ProcSet {
+    fn extend<I: IntoIterator<Item = ProcId>>(&mut self, iter: I) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+impl IntoIterator for ProcSet {
+    type Item = ProcId;
+    type IntoIter = Iter;
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+impl fmt::Debug for ProcSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProcSet{{")?;
+        let mut first = true;
+        for p in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "p{p}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for ProcSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for p in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "p{p}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over the members of a [`ProcSet`], produced by
+/// [`ProcSet::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter(u64);
+
+impl Iterator for Iter {
+    type Item = ProcId;
+
+    #[inline]
+    fn next(&mut self) -> Option<ProcId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let p = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(p)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let c = self.0.count_ones() as usize;
+        (c, Some(c))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+/// Iterator over all subsets of a set, produced by [`ProcSet::subsets`].
+#[derive(Debug, Clone)]
+pub struct Subsets {
+    universe: u64,
+    current: u64,
+    done: bool,
+}
+
+impl Iterator for Subsets {
+    type Item = ProcSet;
+
+    fn next(&mut self) -> Option<ProcSet> {
+        if self.done {
+            return None;
+        }
+        let out = ProcSet(self.current);
+        if self.current == self.universe {
+            self.done = true;
+        } else {
+            // Standard trick: enumerate submasks of `universe` in increasing
+            // order by rippling the carry through the non-universe bits.
+            self.current = (self.current.wrapping_sub(self.universe)) & self.universe;
+        }
+        Some(out)
+    }
+}
+
+/// Iterator over the k-element subsets of a set, produced by
+/// [`ProcSet::k_subsets`].
+#[derive(Debug, Clone)]
+pub struct KSubsets {
+    members: Vec<ProcId>,
+    indices: Vec<usize>,
+    done: bool,
+    fresh: bool,
+}
+
+impl Iterator for KSubsets {
+    type Item = ProcSet;
+
+    fn next(&mut self) -> Option<ProcSet> {
+        if self.done {
+            return None;
+        }
+        if self.fresh {
+            self.fresh = false;
+        } else {
+            // Advance the combination indices (standard revolving-door-free
+            // lexicographic successor).
+            let k = self.indices.len();
+            let n = self.members.len();
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    self.done = true;
+                    return None;
+                }
+                i -= 1;
+                if self.indices[i] != i + n - k {
+                    break;
+                }
+            }
+            self.indices[i] += 1;
+            for j in i + 1..k {
+                self.indices[j] = self.indices[j - 1] + 1;
+            }
+        }
+        let set: ProcSet = self.indices.iter().map(|&i| self.members[i]).collect();
+        Some(set)
+    }
+}
+
+/// Number of k-element subsets of an n-element set, saturating at
+/// `u128::MAX`.
+pub fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul((n - i) as u128) / (i as u128 + 1);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        assert_eq!(ProcSet::empty().len(), 0);
+        assert!(ProcSet::empty().is_empty());
+        assert_eq!(ProcSet::full(5).len(), 5);
+        assert_eq!(ProcSet::full(64).len(), 64);
+        assert_eq!(ProcSet::full(0), ProcSet::empty());
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = ProcSet::empty();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn with_without_are_pure() {
+        let s = ProcSet::singleton(1);
+        let t = s.with(2);
+        assert!(!s.contains(2));
+        assert!(t.contains(2));
+        assert_eq!(t.without(2), s);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = ProcSet::from_iter([0usize, 1, 2]);
+        let b = ProcSet::from_iter([2usize, 3]);
+        assert_eq!(a.union(b), ProcSet::from_iter([0usize, 1, 2, 3]));
+        assert_eq!(a.intersection(b), ProcSet::singleton(2));
+        assert_eq!(a.difference(b), ProcSet::from_iter([0usize, 1]));
+        assert_eq!(a.complement(4), ProcSet::singleton(3));
+        assert!(a.intersection(b).is_subset(a));
+        assert!(a.union(b).is_superset(b));
+        assert!(ProcSet::singleton(0).is_disjoint(ProcSet::singleton(1)));
+    }
+
+    #[test]
+    fn min_max() {
+        let s = ProcSet::from_iter([5usize, 9, 2]);
+        assert_eq!(s.min(), Some(2));
+        assert_eq!(s.max(), Some(9));
+        assert_eq!(ProcSet::empty().min(), None);
+        assert_eq!(ProcSet::empty().max(), None);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s = ProcSet::from_iter([7usize, 0, 63, 12]);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![0, 7, 12, 63]);
+        assert_eq!(s.iter().len(), 4);
+    }
+
+    #[test]
+    fn subsets_count_and_membership() {
+        let s = ProcSet::from_iter([1usize, 4, 6]);
+        let all: Vec<_> = s.subsets().collect();
+        assert_eq!(all.len(), 8);
+        for sub in &all {
+            assert!(sub.is_subset(s));
+        }
+        assert!(all.contains(&ProcSet::empty()));
+        assert!(all.contains(&s));
+        // Pairwise distinct.
+        let mut sorted = all.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+    }
+
+    #[test]
+    fn k_subsets_matches_binomial() {
+        let s = ProcSet::full(6);
+        for k in 0..=6 {
+            let got = s.k_subsets(k).count() as u128;
+            assert_eq!(got, binomial(6, k), "k = {k}");
+        }
+        assert_eq!(s.k_subsets(7).count(), 0);
+    }
+
+    #[test]
+    fn k_subsets_have_right_size_and_are_subsets() {
+        let s = ProcSet::from_iter([0usize, 2, 3, 5]);
+        for k in 0..=4 {
+            for sub in s.k_subsets(k) {
+                assert_eq!(sub.len(), k);
+                assert!(sub.is_subset(s));
+            }
+        }
+    }
+
+    #[test]
+    fn k_subsets_of_empty() {
+        assert_eq!(ProcSet::empty().k_subsets(0).count(), 1);
+        assert_eq!(ProcSet::empty().k_subsets(1).count(), 0);
+    }
+
+    #[test]
+    fn check_universe_errors() {
+        let s = ProcSet::from_iter([0usize, 5]);
+        assert!(s.check_universe(6).is_ok());
+        assert_eq!(
+            s.check_universe(4),
+            Err(GraphError::ProcessOutOfRange { proc: 5, n: 4 })
+        );
+    }
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(10, 10), 1);
+        assert_eq!(binomial(4, 7), 0);
+        assert_eq!(binomial(64, 32), 1_832_624_140_942_590_534);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = ProcSet::from_iter([0usize, 2]);
+        assert_eq!(format!("{s}"), "{p0, p2}");
+        assert_eq!(format!("{s:?}"), "ProcSet{p0,p2}");
+        assert_eq!(format!("{}", ProcSet::empty()), "{}");
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut s: ProcSet = [1usize, 3].into_iter().collect();
+        s.extend([5usize]);
+        assert_eq!(s, ProcSet::from_iter([1usize, 3, 5]));
+        let back: Vec<ProcId> = s.into_iter().collect();
+        assert_eq!(back, vec![1, 3, 5]);
+    }
+}

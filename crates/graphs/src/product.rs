@@ -1,0 +1,257 @@
+//! The graph path product (Def 6.1) and its iterated forms.
+//!
+//! `G ⊗ H` has an edge `(u, v)` exactly when there is a `w` with
+//! `(u, w) ∈ E(G)` and `(w, v) ∈ E(H)`: the paths with one edge per graph.
+//! Over `r` communication rounds with graphs `G_1, …, G_r`, the product
+//! `G_1 ⊗ … ⊗ G_r` records who has (transitively) heard from whom — the key
+//! object of the multi-round bounds in §6.
+//!
+//! Because all graphs carry self-loops, `E(G) ∪ E(H) ⊆ E(G ⊗ H)`:
+//! information never disappears.
+
+use crate::digraph::Digraph;
+use crate::error::GraphError;
+use crate::proc_set::ProcSet;
+use std::collections::BTreeSet;
+
+/// The path product `g ⊗ h` (Def 6.1).
+///
+/// Row-wise this is boolean matrix multiplication: `Out_{g⊗h}(u) =
+/// ⋃_{w ∈ Out_g(u)} Out_h(w)`.
+///
+/// # Errors
+///
+/// [`GraphError::MismatchedSizes`] if the graphs disagree on `n`.
+pub fn product(g: &Digraph, h: &Digraph) -> Result<Digraph, GraphError> {
+    if g.n() != h.n() {
+        return Err(GraphError::MismatchedSizes {
+            left: g.n(),
+            right: h.n(),
+        });
+    }
+    let n = g.n();
+    let mut rows = Vec::with_capacity(n);
+    for u in 0..n {
+        rows.push(h.out_union(g.out_set(u)));
+    }
+    Digraph::from_out_rows(rows)
+}
+
+/// The `r`-th product power `g^r = g ⊗ … ⊗ g` (`r` factors). `g^0` is the
+/// identity for `⊗`: the loops-only graph.
+///
+/// # Errors
+///
+/// Propagates construction errors (none occur for valid `g`).
+pub fn power(g: &Digraph, r: usize) -> Result<Digraph, GraphError> {
+    let mut acc = Digraph::empty(g.n())?;
+    for _ in 0..r {
+        acc = product(&acc, g)?;
+    }
+    Ok(acc)
+}
+
+/// The set product `S1 ⊗ S2 = {G ⊗ H | G ∈ S1, H ∈ S2}`, deduplicated and
+/// sorted for determinism.
+///
+/// # Errors
+///
+/// [`GraphError::EmptyGraphSet`] if either set is empty;
+/// [`GraphError::MismatchedSizes`] if the sizes disagree.
+pub fn set_product(s1: &[Digraph], s2: &[Digraph]) -> Result<Vec<Digraph>, GraphError> {
+    if s1.is_empty() || s2.is_empty() {
+        return Err(GraphError::EmptyGraphSet);
+    }
+    let mut out = BTreeSet::new();
+    for g in s1 {
+        for h in s2 {
+            out.insert(product(g, h)?);
+        }
+    }
+    Ok(out.into_iter().collect())
+}
+
+/// The set power `S^r = {G_1 ⊗ … ⊗ G_r | G_i ∈ S}` (deduplicated). Used by
+/// every multi-round bound (Thm 6.4, 6.5, 6.11).
+///
+/// `S^0` is the singleton `{loops-only}`. `|S^r|` is at most `|S|^r` before
+/// deduplication; deduplication usually collapses it drastically (e.g. star
+/// unions are idempotent, Thm 6.13's proof).
+///
+/// # Errors
+///
+/// [`GraphError::EmptyGraphSet`] if `s` is empty;
+/// [`GraphError::MismatchedSizes`] if the sizes disagree.
+pub fn set_power(s: &[Digraph], r: usize) -> Result<Vec<Digraph>, GraphError> {
+    let first = s.first().ok_or(GraphError::EmptyGraphSet)?;
+    if r == 0 {
+        return Ok(vec![Digraph::empty(first.n())?]);
+    }
+    let mut acc: Vec<Digraph> = {
+        let set: BTreeSet<Digraph> = s.iter().cloned().collect();
+        set.into_iter().collect()
+    };
+    for g in s {
+        if g.n() != first.n() {
+            return Err(GraphError::MismatchedSizes {
+                left: first.n(),
+                right: g.n(),
+            });
+        }
+    }
+    for _ in 1..r {
+        acc = set_product(&acc, s)?;
+    }
+    Ok(acc)
+}
+
+/// Who hears from `p` after `r` rounds along the fixed sequence `seq`
+/// of graphs: `Out_{G_1 ⊗ … ⊗ G_r}(p)` computed without materializing the
+/// product (one BFS-like frontier sweep).
+///
+/// # Errors
+///
+/// [`GraphError::MismatchedSizes`] if sizes disagree;
+/// [`GraphError::ProcessOutOfRange`] if `p` is out of range.
+pub fn dissemination(seq: &[Digraph], p: ProcSet) -> Result<ProcSet, GraphError> {
+    let mut frontier = p;
+    for g in seq {
+        p.check_universe(g.n())?;
+        frontier = g.out_union(frontier);
+    }
+    Ok(frontier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+
+    #[test]
+    fn product_is_relation_composition() {
+        // p0 → p1 in g, p1 → p2 in h ⇒ p0 → p2 in g ⊗ h.
+        let g = Digraph::from_edges(3, &[(0, 1)]).unwrap();
+        let h = Digraph::from_edges(3, &[(1, 2)]).unwrap();
+        let p = product(&g, &h).unwrap();
+        assert!(p.has_edge(0, 2));
+        // Self-loops make both factors sub-graphs of the product.
+        assert!(p.contains_graph(&g).unwrap());
+        assert!(p.contains_graph(&h).unwrap());
+    }
+
+    #[test]
+    fn product_not_commutative() {
+        let g = Digraph::from_edges(3, &[(0, 1)]).unwrap();
+        let h = Digraph::from_edges(3, &[(1, 2)]).unwrap();
+        let gh = product(&g, &h).unwrap();
+        let hg = product(&h, &g).unwrap();
+        assert!(gh.has_edge(0, 2));
+        assert!(!hg.has_edge(0, 2));
+    }
+
+    #[test]
+    fn product_is_associative() {
+        let a = families::cycle(5).unwrap();
+        let b = families::broadcast_star(5, 2).unwrap();
+        let c = families::path(5).unwrap();
+        let left = product(&product(&a, &b).unwrap(), &c).unwrap();
+        let right = product(&a, &product(&b, &c).unwrap()).unwrap();
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn loops_only_is_identity() {
+        let id = Digraph::empty(4).unwrap();
+        let g = families::cycle(4).unwrap();
+        assert_eq!(product(&id, &g).unwrap(), g);
+        assert_eq!(product(&g, &id).unwrap(), g);
+    }
+
+    #[test]
+    fn power_of_cycle_reaches_clique() {
+        // In C_n, after n-1 rounds everybody heard everybody.
+        let c = families::cycle(4).unwrap();
+        assert_eq!(power(&c, 0).unwrap(), Digraph::empty(4).unwrap());
+        assert_eq!(power(&c, 1).unwrap(), c);
+        let c2 = power(&c, 2).unwrap();
+        assert!(c2.has_edge(0, 2));
+        assert!(!c2.has_edge(0, 3));
+        assert!(power(&c, 3).unwrap().is_complete());
+        assert!(power(&c, 7).unwrap().is_complete());
+    }
+
+    #[test]
+    fn star_is_idempotent() {
+        // Star graphs are idempotent for ⊗ (used in the proof of Thm 6.13).
+        let s = families::broadcast_star(5, 1).unwrap();
+        assert_eq!(power(&s, 2).unwrap(), s);
+        assert_eq!(power(&s, 3).unwrap(), s);
+        let stars2 = families::broadcast_stars(5, ProcSet::from_iter([0usize, 3])).unwrap();
+        assert_eq!(power(&stars2, 2).unwrap(), stars2);
+    }
+
+    #[test]
+    fn set_product_and_power() {
+        let s = vec![
+            families::broadcast_star(3, 0).unwrap(),
+            families::broadcast_star(3, 1).unwrap(),
+        ];
+        let p = set_product(&s, &s).unwrap();
+        // star_i ⊗ star_j = union of stars i and j... check all members
+        // contain some star.
+        for g in &p {
+            assert!(
+                g.contains_graph(&s[0]).unwrap() || g.contains_graph(&s[1]).unwrap()
+            );
+        }
+        let p2 = set_power(&s, 2).unwrap();
+        assert_eq!(p, p2);
+        assert_eq!(set_power(&s, 1).unwrap(), {
+            let mut sorted = s.clone();
+            sorted.sort();
+            sorted
+        });
+        assert_eq!(
+            set_power(&s, 0).unwrap(),
+            vec![Digraph::empty(3).unwrap()]
+        );
+    }
+
+    #[test]
+    fn set_power_dedups() {
+        // A single idempotent star: S^r stays a singleton.
+        let s = vec![families::broadcast_star(4, 0).unwrap()];
+        for r in 1..4 {
+            assert_eq!(set_power(&s, r).unwrap().len(), 1, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn dissemination_matches_product_out() {
+        let seq = vec![
+            families::cycle(5).unwrap(),
+            families::path(5).unwrap(),
+            families::broadcast_star(5, 3).unwrap(),
+        ];
+        let mut prod = Digraph::empty(5).unwrap();
+        for g in &seq {
+            prod = product(&prod, g).unwrap();
+        }
+        for p in 0..5 {
+            assert_eq!(
+                dissemination(&seq, ProcSet::singleton(p)).unwrap(),
+                prod.out_set(p),
+                "process {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_sizes_rejected() {
+        let g3 = families::cycle(3).unwrap();
+        let g4 = families::cycle(4).unwrap();
+        assert!(product(&g3, &g4).is_err());
+        assert!(set_product(std::slice::from_ref(&g3), &[g4]).is_err());
+        assert!(set_product(&[], &[g3]).is_err());
+    }
+}

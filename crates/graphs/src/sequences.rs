@@ -1,0 +1,239 @@
+//! Covering-number sequences (Def 6.6 and Def 6.8).
+//!
+//! The `i`-th covering sequence tracks the *guaranteed* audience of the `i`
+//! smallest input values round after round: start at `cov_i`, then keep
+//! applying `s ↦ cov_s` until the set of informed processes is a guaranteed
+//! dominating set (`s ≥ γ_eq`), at which point one more round informs
+//! everybody (`n`). If the sequence reaches `n` after `r` steps, `i`-set
+//! agreement is solvable in `r` rounds (Thm 6.7 for a single generator,
+//! Thm 6.9 for a set).
+
+use crate::covering::{covering_number, covering_number_of_set};
+use crate::digraph::Digraph;
+use crate::equal_domination::{equal_domination_number, equal_domination_number_of_set};
+use crate::error::GraphError;
+
+/// The result of unrolling a covering sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoveringSequence {
+    /// The starting index `i` of the sequence.
+    pub i: usize,
+    /// The values `s_1, s_2, …` up to and including the first `n` (or up to
+    /// the fixpoint if the sequence stalls below `γ_eq`).
+    pub values: Vec<usize>,
+    /// The number of rounds after which the sequence reaches `n`, i.e. the
+    /// `r` such that `i`-set agreement is solvable in `r` rounds
+    /// (Thm 6.7 / 6.9) — `None` if the sequence stalls.
+    pub reaches_n_at: Option<usize>,
+}
+
+/// The `i`-th covering-number sequence of a single graph (Def 6.6).
+///
+/// The sequence is non-decreasing (self-loops give `cov_s ≥ s`), so it
+/// either hits the `≥ γ_eq` branch and jumps to `n`, or stalls at a
+/// fixpoint `s = cov_s < γ_eq`.
+///
+/// # Errors
+///
+/// [`GraphError::IndexOutOfDomain`] unless `1 ≤ i ≤ n`.
+///
+/// # Examples
+///
+/// ```
+/// use ksa_graphs::{families, sequences::covering_sequence};
+///
+/// // C4: cov grows by one per round, reaching n = 4 in 3 rounds from i=1.
+/// let c = families::cycle(4).unwrap();
+/// let seq = covering_sequence(&c, 1).unwrap();
+/// assert_eq!(seq.reaches_n_at, Some(3));
+/// ```
+pub fn covering_sequence(g: &Digraph, i: usize) -> Result<CoveringSequence, GraphError> {
+    let n = g.n();
+    let geq = equal_domination_number(g);
+    unroll(i, n, geq, |s| covering_number(g, s))
+}
+
+/// The `i`-th covering-number sequence of a set of graphs (Def 6.8):
+/// `s_1 = min_G cov_i(G)` and the step uses `min_G cov_s(G)` against
+/// `max_G γ_eq(G)`.
+///
+/// # Errors
+///
+/// [`GraphError::EmptyGraphSet`] when `graphs` is empty;
+/// [`GraphError::IndexOutOfDomain`] unless `1 ≤ i ≤ n`.
+pub fn covering_sequence_of_set(
+    graphs: &[Digraph],
+    i: usize,
+) -> Result<CoveringSequence, GraphError> {
+    let first = graphs.first().ok_or(GraphError::EmptyGraphSet)?;
+    let n = first.n();
+    let geq = equal_domination_number_of_set(graphs)?;
+    unroll(i, n, geq, |s| covering_number_of_set(graphs, s))
+}
+
+fn unroll(
+    i: usize,
+    n: usize,
+    geq: usize,
+    cov: impl Fn(usize) -> Result<usize, GraphError>,
+) -> Result<CoveringSequence, GraphError> {
+    if i == 0 || i > n {
+        return Err(GraphError::IndexOutOfDomain {
+            index: i,
+            domain: "[1, n]",
+        });
+    }
+    let mut values = Vec::new();
+    let mut s = cov(i)?;
+    values.push(s);
+    loop {
+        if s == n {
+            let at = values.len();
+            return Ok(CoveringSequence {
+                i,
+                values,
+                reaches_n_at: Some(at),
+            });
+        }
+        let next = if s >= geq { n } else { cov(s)? };
+        if next == s {
+            // Fixpoint below γ_eq: the sequence stalls forever.
+            return Ok(CoveringSequence {
+                i,
+                values,
+                reaches_n_at: None,
+            });
+        }
+        values.push(next);
+        s = next;
+    }
+}
+
+/// The least `i` whose covering sequence reaches `n` within `r` rounds —
+/// i.e. the best upper bound on k-set agreement in `r` rounds obtainable
+/// from Thm 6.7 / 6.9 (smaller `k` is a stronger agreement).
+///
+/// Returns `None` if no sequence reaches `n` within `r` rounds.
+///
+/// # Errors
+///
+/// [`GraphError::EmptyGraphSet`] when `graphs` is empty.
+pub fn best_k_by_sequences(
+    graphs: &[Digraph],
+    r: usize,
+) -> Result<Option<usize>, GraphError> {
+    let first = graphs.first().ok_or(GraphError::EmptyGraphSet)?;
+    let n = first.n();
+    for i in 1..=n {
+        let seq = covering_sequence_of_set(graphs, i)?;
+        if matches!(seq.reaches_n_at, Some(at) if at <= r) {
+            return Ok(Some(i));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+    use crate::perm::symmetric_closure;
+
+    #[test]
+    fn clique_reaches_in_one_round() {
+        let k = Digraph::complete(4).unwrap();
+        for i in 1..=4 {
+            let seq = covering_sequence(&k, i).unwrap();
+            assert_eq!(seq.reaches_n_at, Some(1), "i = {i}");
+            assert_eq!(seq.values, vec![4]);
+        }
+    }
+
+    #[test]
+    fn cycle_sequence_grows_by_one() {
+        // C5: cov_i = i + 1 for i < 5, γ_eq = 4.
+        let c = families::cycle(5).unwrap();
+        let seq = covering_sequence(&c, 1).unwrap();
+        // s1 = 2, s2 = 3, s3 = 4 ≥ γ_eq=4 → s4 = 5.
+        assert_eq!(seq.values, vec![2, 3, 4, 5]);
+        assert_eq!(seq.reaches_n_at, Some(4));
+        // From i = 3: s1 = 4 ≥ γ_eq → s2 = 5.
+        let seq3 = covering_sequence(&c, 3).unwrap();
+        assert_eq!(seq3.reaches_n_at, Some(2));
+    }
+
+    #[test]
+    fn star_sequence_stalls() {
+        // Broadcast star at 0: cov_i = i for all i < n, γ_eq = n:
+        // the sequence is constant at i — stalls (the single graph ↑star
+        // still guarantees one-round n... but i-set agreement for i < n is
+        // not promised by the sequence bound).
+        let s = families::broadcast_star(4, 0).unwrap();
+        for i in 1..4 {
+            let seq = covering_sequence(&s, i).unwrap();
+            assert_eq!(seq.reaches_n_at, None, "i = {i}");
+            assert_eq!(seq.values, vec![i]);
+        }
+        // i = n trivially reaches n.
+        assert_eq!(covering_sequence(&s, 4).unwrap().reaches_n_at, Some(1));
+    }
+
+    #[test]
+    fn sequences_are_nondecreasing() {
+        let graphs = [
+            families::cycle(6).unwrap(),
+            families::binary_out_tree(6).unwrap(),
+            families::fig1_second_graph(),
+        ];
+        for g in &graphs {
+            for i in 1..=g.n() {
+                let seq = covering_sequence(g, i).unwrap();
+                for w in seq.values.windows(2) {
+                    assert!(w[0] <= w[1], "graph {g}, i = {i}: {:?}", seq.values);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_sequence_uses_min_cov_max_geq() {
+        // Mixed set {C4, star}: cov is dragged down by the star
+        // (cov_i = i) and γ_eq dragged up to 4, so sequences stall.
+        let set = vec![
+            families::cycle(4).unwrap(),
+            families::broadcast_star(4, 0).unwrap(),
+        ];
+        let seq = covering_sequence_of_set(&set, 1).unwrap();
+        assert_eq!(seq.reaches_n_at, None);
+    }
+
+    #[test]
+    fn symmetric_cycles_sequence() {
+        let sym = symmetric_closure(&[families::cycle(4).unwrap()]).unwrap();
+        // cov_i(Sym) = cov_i(C4) = i+1 (permutation-invariant),
+        // γ_eq(Sym) = 3.
+        let seq = covering_sequence_of_set(&sym, 1).unwrap();
+        assert_eq!(seq.values, vec![2, 3, 4]);
+        assert_eq!(seq.reaches_n_at, Some(3));
+    }
+
+    #[test]
+    fn best_k_matches_sequences() {
+        let sym = symmetric_closure(&[families::cycle(4).unwrap()]).unwrap();
+        // r = 1: need cov_i = 4 in one step: i with cov_i(C4) = 4 → i = 3.
+        assert_eq!(best_k_by_sequences(&sym, 1).unwrap(), Some(3));
+        // r = 3: i = 1 reaches n in 3 rounds.
+        assert_eq!(best_k_by_sequences(&sym, 3).unwrap(), Some(1));
+        // Star: only i = n works at any r.
+        let star = vec![families::broadcast_star(4, 0).unwrap()];
+        assert_eq!(best_k_by_sequences(&star, 10).unwrap(), Some(4));
+    }
+
+    #[test]
+    fn index_domain() {
+        let c = families::cycle(3).unwrap();
+        assert!(covering_sequence(&c, 0).is_err());
+        assert!(covering_sequence(&c, 4).is_err());
+        assert!(covering_sequence_of_set(&[], 1).is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! The universal domination number `γ_univ(S)` — an **extension** beyond
+//! the paper.
+//!
+//! `γ_univ(S)` is the size of the smallest single set `P ⊆ Π` that
+//! dominates *every* graph of `S` simultaneously. The paper's upper bounds
+//! for general closed-above models only use `γ_eq` (every set of that size
+//! dominates) and covering numbers; but the Thm 3.2 trick generalizes: if
+//! one fixed `P` dominates all generators, then "decide the minimum value
+//! received from `P`" solves `|P|`-set agreement in one round on the whole
+//! model — no knowledge of which generator the adversary picked is needed.
+//!
+//! Orderings: `γ(G) = γ_univ({G})`, and for any `S`
+//! `max_G γ(G) ≤ γ_univ(S) ≤ γ_eq(S)`.
+//!
+//! This bound can beat everything in the paper (see
+//! `ksa-core::bounds::extensions` for the worked `{C4, reversed C4}`
+//! example where it also exposes the Thm 5.4 scoping issue documented in
+//! DESIGN.md).
+//!
+//! Computationally this is a **hitting set** problem: `P` must intersect
+//! `In_G(q)` for every pair `(G, q)` — solved exactly by branch and bound
+//! with a greedy incumbent, like [`domination`](crate::domination).
+
+use crate::digraph::Digraph;
+use crate::dist_domination::check_set;
+use crate::error::GraphError;
+use crate::proc_set::ProcSet;
+
+/// A universal dominating set with its size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniversalDominatingSet {
+    /// The witnessing set of processes.
+    pub set: ProcSet,
+    /// `set.len()`, i.e. `γ_univ(S)` when produced by
+    /// [`minimum_universal_dominating_set`].
+    pub size: usize,
+}
+
+/// The universal domination number `γ_univ(S)`: the smallest `|P|` with
+/// `Out_G(P) = Π` for every `G ∈ S`.
+///
+/// # Errors
+///
+/// [`GraphError::EmptyGraphSet`] / [`GraphError::MismatchedSizes`] as
+/// usual.
+pub fn universal_domination_number(graphs: &[Digraph]) -> Result<usize, GraphError> {
+    Ok(minimum_universal_dominating_set(graphs)?.size)
+}
+
+/// A minimum universal dominating set (exact branch and bound over the
+/// hitting-set formulation).
+///
+/// # Errors
+///
+/// [`GraphError::EmptyGraphSet`] / [`GraphError::MismatchedSizes`] as
+/// usual.
+pub fn minimum_universal_dominating_set(
+    graphs: &[Digraph],
+) -> Result<UniversalDominatingSet, GraphError> {
+    check_set(graphs)?;
+    let n = graphs[0].n();
+    // Requirements: P must hit In_G(q) for every (G, q); dedup them.
+    let mut reqs: Vec<ProcSet> = graphs
+        .iter()
+        .flat_map(|g| (0..n).map(move |q| g.in_set(q)))
+        .collect();
+    reqs.sort();
+    reqs.dedup();
+    // Drop requirements implied by smaller ones (hitting a subset hits the
+    // superset).
+    let mut minimal: Vec<ProcSet> = Vec::new();
+    'outer: for r in &reqs {
+        for m in &minimal {
+            if m.is_subset(*r) {
+                continue 'outer;
+            }
+        }
+        minimal.retain(|m| !r.is_subset(*m));
+        minimal.push(*r);
+    }
+
+    // Greedy incumbent: repeatedly take the process hitting the most
+    // remaining requirements.
+    let mut best = greedy_hitting_set(n, &minimal);
+    let mut best_size = best.len();
+
+    // Branch and bound on requirements: pick an unhit requirement, branch
+    // on its members.
+    fn rec(
+        n: usize,
+        reqs: &[ProcSet],
+        chosen: ProcSet,
+        best: &mut ProcSet,
+        best_size: &mut usize,
+    ) {
+        if chosen.len() >= *best_size {
+            return;
+        }
+        // First requirement not hit by `chosen`.
+        match reqs.iter().find(|r| r.is_disjoint(chosen)) {
+            None => {
+                *best = chosen;
+                *best_size = chosen.len();
+            }
+            Some(r) => {
+                for p in r.iter() {
+                    let _ = n;
+                    rec(n, reqs, chosen.with(p), best, best_size);
+                }
+            }
+        }
+    }
+    rec(n, &minimal, ProcSet::empty(), &mut best, &mut best_size);
+
+    debug_assert!(graphs.iter().all(|g| g.dominates(best)));
+    Ok(UniversalDominatingSet {
+        set: best,
+        size: best_size,
+    })
+}
+
+fn greedy_hitting_set(n: usize, reqs: &[ProcSet]) -> ProcSet {
+    let mut chosen = ProcSet::empty();
+    let mut remaining: Vec<ProcSet> = reqs.to_vec();
+    while !remaining.is_empty() {
+        let (p, _) = (0..n)
+            .map(|p| {
+                (
+                    p,
+                    remaining.iter().filter(|r| r.contains(p)).count(),
+                )
+            })
+            .max_by_key(|&(p, hits)| (hits, std::cmp::Reverse(p)))
+            .expect("n > 0");
+        chosen.insert(p);
+        remaining.retain(|r| !r.contains(p));
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domination::domination_number;
+    use crate::equal_domination::equal_domination_number_of_set;
+    use crate::families;
+    use crate::perm::symmetric_closure;
+
+    #[test]
+    fn singleton_equals_gamma() {
+        for g in [
+            families::cycle(4).unwrap(),
+            families::cycle(5).unwrap(),
+            families::fig1_second_graph(),
+            families::broadcast_star(5, 2).unwrap(),
+        ] {
+            assert_eq!(
+                universal_domination_number(std::slice::from_ref(&g)).unwrap(),
+                domination_number(&g),
+                "graph {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_and_reverse_share_a_dominating_pair() {
+        // The headline example: {p0, p2} dominates C4 and its reverse.
+        let c = families::cycle(4).unwrap();
+        let rev = Digraph::from_edges(4, &[(1, 0), (2, 1), (3, 2), (0, 3)]).unwrap();
+        let set = vec![c, rev];
+        let w = minimum_universal_dominating_set(&set).unwrap();
+        assert_eq!(w.size, 2);
+        for g in &set {
+            assert!(g.dominates(w.set));
+        }
+    }
+
+    #[test]
+    fn bounded_by_gamma_eq_and_from_below_by_each_gamma() {
+        let sets = vec![
+            symmetric_closure(&[families::cycle(4).unwrap()]).unwrap(),
+            symmetric_closure(&[families::broadcast_star(4, 0).unwrap()]).unwrap(),
+            vec![
+                families::path(4).unwrap(),
+                families::cycle(4).unwrap(),
+            ],
+        ];
+        for s in sets {
+            let univ = universal_domination_number(&s).unwrap();
+            assert!(univ <= equal_domination_number_of_set(&s).unwrap());
+            for g in &s {
+                assert!(domination_number(g) <= univ);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_star_closure_needs_n_minus_zero() {
+        // Every single star must be dominated; only its center or …
+        // everyone-but-nothing: P must contain, for each center c, a
+        // process hearing-from-relationship: In(center) = {center}, so P
+        // must contain every possible center: γ_univ(Sym(star)) = n.
+        let sym = symmetric_closure(&[families::broadcast_star(4, 0).unwrap()]).unwrap();
+        assert_eq!(universal_domination_number(&sym).unwrap(), 4);
+    }
+
+    #[test]
+    fn kernel_vs_ring_mixture() {
+        // Ring closure: every cycle must be dominated by one common P.
+        let sym = symmetric_closure(&[families::cycle(4).unwrap()]).unwrap();
+        let univ = universal_domination_number(&sym).unwrap();
+        // γ_eq(Sym C4) = 3; the universal number can be smaller or equal.
+        assert!(univ <= 3);
+        // And it cannot be 1: a single process never dominates a 4-cycle.
+        assert!(univ >= 2);
+    }
+
+    #[test]
+    fn greedy_covers() {
+        let reqs = vec![
+            ProcSet::from_iter([0usize, 1]),
+            ProcSet::from_iter([1usize, 2]),
+            ProcSet::from_iter([3usize]),
+        ];
+        let hs = greedy_hitting_set(4, &reqs);
+        for r in &reqs {
+            assert!(!r.is_disjoint(hs));
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(universal_domination_number(&[]).is_err());
+    }
+
+    use crate::digraph::Digraph;
+}

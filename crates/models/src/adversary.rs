@@ -1,0 +1,210 @@
+//! Graph adversaries: the round-by-round graph choosers that drive
+//! executions.
+//!
+//! An oblivious model constrains *which* graphs may appear; the adversary
+//! decides which one actually does, round after round. The runtime crate
+//! executes algorithms against these:
+//!
+//! * [`FixedSequence`] — replay a fixed schedule (for regression tests and
+//!   witnesses found by the checker);
+//! * [`GeneratorMinimal`] — always play a generator, i.e. the *fewest*
+//!   edges the model allows (the hardest legal graphs for dissemination);
+//! * [`RandomInModel`] — seeded random graphs from the model;
+//! * [`generator_schedules`] — exhaustive enumeration of all length-`r`
+//!   generator schedules, for the exhaustive checker.
+
+use crate::closed_above::ClosedAboveModel;
+use crate::ObliviousModel;
+use ksa_graphs::Digraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A source of per-round communication graphs.
+pub trait Adversary {
+    /// The graph for round `round` (0-based). Implementations must return
+    /// a graph allowed by the model they represent.
+    fn graph_for_round(&mut self, round: usize) -> Digraph;
+}
+
+/// Replays a fixed schedule, cycling when rounds exceed its length.
+#[derive(Debug, Clone)]
+pub struct FixedSequence {
+    schedule: Vec<Digraph>,
+}
+
+impl FixedSequence {
+    /// Builds the adversary from a non-empty schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `schedule` is empty.
+    pub fn new(schedule: Vec<Digraph>) -> Self {
+        assert!(!schedule.is_empty(), "schedule must be non-empty");
+        FixedSequence { schedule }
+    }
+}
+
+impl Adversary for FixedSequence {
+    fn graph_for_round(&mut self, round: usize) -> Digraph {
+        self.schedule[round % self.schedule.len()].clone()
+    }
+}
+
+/// Plays generators only — the minimal graphs of a closed-above model —
+/// rotating through them round-robin from a seeded shuffle, or pinned to
+/// one index.
+#[derive(Debug, Clone)]
+pub struct GeneratorMinimal {
+    generators: Vec<Digraph>,
+    pinned: Option<usize>,
+    rng: StdRng,
+}
+
+impl GeneratorMinimal {
+    /// Rotates randomly (seeded) over the model's generators.
+    pub fn shuffled(model: &ClosedAboveModel, seed: u64) -> Self {
+        GeneratorMinimal {
+            generators: model.generators().to_vec(),
+            pinned: None,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Always plays generator `index` (mod the generator count).
+    pub fn pinned(model: &ClosedAboveModel, index: usize) -> Self {
+        GeneratorMinimal {
+            generators: model.generators().to_vec(),
+            pinned: Some(index),
+            rng: StdRng::seed_from_u64(0),
+        }
+    }
+}
+
+impl Adversary for GeneratorMinimal {
+    fn graph_for_round(&mut self, _round: usize) -> Digraph {
+        let idx = match self.pinned {
+            Some(i) => i % self.generators.len(),
+            None => self.rng.random_range(0..self.generators.len()),
+        };
+        self.generators[idx].clone()
+    }
+}
+
+/// Samples a random allowed graph each round from any oblivious model.
+pub struct RandomInModel<'m, M: ObliviousModel + ?Sized> {
+    model: &'m M,
+    rng: StdRng,
+}
+
+impl<'m, M: ObliviousModel + ?Sized> RandomInModel<'m, M> {
+    /// Seeded constructor.
+    pub fn new(model: &'m M, seed: u64) -> Self {
+        RandomInModel {
+            model,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl<M: ObliviousModel + ?Sized> Adversary for RandomInModel<'_, M> {
+    fn graph_for_round(&mut self, _round: usize) -> Digraph {
+        self.model.sample(&mut self.rng)
+    }
+}
+
+/// All length-`r` schedules over the model's generators, as an iterator of
+/// `Vec<Digraph>` (odometer order). `|generators|^r` schedules — the
+/// exhaustive checker's input.
+pub fn generator_schedules(
+    model: &ClosedAboveModel,
+    r: usize,
+) -> impl Iterator<Item = Vec<Digraph>> + '_ {
+    let gens = model.generators();
+    let m = gens.len();
+    let total = (m as u128).checked_pow(r as u32).unwrap_or(u128::MAX);
+    (0..total).map(move |mut code| {
+        let mut schedule = Vec::with_capacity(r);
+        for _ in 0..r {
+            schedule.push(gens[(code % m as u128) as usize].clone());
+            code /= m as u128;
+        }
+        schedule
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::named;
+    use ksa_graphs::families;
+
+    #[test]
+    fn fixed_sequence_cycles() {
+        let a = families::cycle(3).unwrap();
+        let b = families::path(3).unwrap();
+        let mut adv = FixedSequence::new(vec![a.clone(), b.clone()]);
+        assert_eq!(adv.graph_for_round(0), a);
+        assert_eq!(adv.graph_for_round(1), b);
+        assert_eq!(adv.graph_for_round(2), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn fixed_sequence_rejects_empty() {
+        let _ = FixedSequence::new(vec![]);
+    }
+
+    #[test]
+    fn generator_minimal_plays_generators() {
+        let m = named::non_empty_kernel(4).unwrap();
+        let mut adv = GeneratorMinimal::shuffled(&m, 7);
+        for round in 0..20 {
+            let g = adv.graph_for_round(round);
+            assert!(m.generators().contains(&g));
+        }
+        let mut pinned = GeneratorMinimal::pinned(&m, 2);
+        assert_eq!(pinned.graph_for_round(0), m.generators()[2]);
+        assert_eq!(pinned.graph_for_round(5), m.generators()[2]);
+    }
+
+    #[test]
+    fn random_in_model_stays_legal() {
+        let m = named::symmetric_ring(4).unwrap();
+        let mut adv = RandomInModel::new(&m, 99);
+        for round in 0..20 {
+            let g = adv.graph_for_round(round);
+            assert!(m.contains(&g).unwrap());
+        }
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let m = named::non_empty_kernel(3).unwrap();
+        let seq1: Vec<_> = {
+            let mut a = RandomInModel::new(&m, 5);
+            (0..5).map(|r| a.graph_for_round(r)).collect()
+        };
+        let seq2: Vec<_> = {
+            let mut a = RandomInModel::new(&m, 5);
+            (0..5).map(|r| a.graph_for_round(r)).collect()
+        };
+        assert_eq!(seq1, seq2);
+    }
+
+    #[test]
+    fn schedules_enumerate_all() {
+        let m = named::non_empty_kernel(3).unwrap(); // 3 generators
+        let all: Vec<_> = generator_schedules(&m, 2).collect();
+        assert_eq!(all.len(), 9);
+        // All distinct.
+        let mut sorted = all.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 9);
+        for sched in all {
+            assert_eq!(sched.len(), 2);
+        }
+        // r = 0: the single empty schedule.
+        assert_eq!(generator_schedules(&m, 0).count(), 1);
+    }
+}

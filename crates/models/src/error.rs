@@ -1,0 +1,86 @@
+//! Error type for the model layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by model constructors and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The underlying graph layer rejected an operation.
+    Graph(ksa_graphs::GraphError),
+    /// A parameter was outside its documented domain (e.g. `s > n` star
+    /// centers).
+    BadParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: usize,
+        /// Human-readable domain.
+        domain: &'static str,
+    },
+    /// An enumeration request exceeded its explicit budget.
+    TooLarge {
+        /// What was being enumerated.
+        what: &'static str,
+        /// Estimated size.
+        estimated: u128,
+        /// The configured limit.
+        limit: u128,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Graph(e) => write!(f, "graph error: {e}"),
+            ModelError::BadParameter {
+                name,
+                value,
+                domain,
+            } => write!(f, "parameter {name} = {value} outside {domain}"),
+            ModelError::TooLarge {
+                what,
+                estimated,
+                limit,
+            } => write!(
+                f,
+                "{what} would have about {estimated} elements, above the limit {limit}"
+            ),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ksa_graphs::GraphError> for ModelError {
+    fn from(e: ksa_graphs::GraphError) -> Self {
+        ModelError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ModelError::from(ksa_graphs::GraphError::EmptyGraphSet);
+        assert!(!e.to_string().is_empty());
+        assert!(e.source().is_some());
+        let b = ModelError::BadParameter {
+            name: "s",
+            value: 9,
+            domain: "[1, n]",
+        };
+        assert!(b.to_string().contains('s'));
+        assert!(b.source().is_none());
+    }
+}

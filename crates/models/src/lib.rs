@@ -1,0 +1,72 @@
+//! # ksa-models
+//!
+//! Round-based communication models for the reproduction of *"K-set
+//! agreement bounds in round-based models through combinatorial topology"*
+//! (Shimi & Castañeda, PODC 2020).
+//!
+//! A **communication model** fixes, for every round, the set of allowed
+//! communication graphs (Def 2.1). The paper studies **oblivious** models
+//! (the same set every round, Def 2.2) and, within those, **closed-above**
+//! models (Def 2.3): the allowed graphs are everything above a set of
+//! generator graphs. This crate provides:
+//!
+//! * [`ObliviousModel`] — the per-round membership/sampling interface;
+//! * [`ClosedAboveModel`] — generators + closure membership + sampling +
+//!   multi-round generator products;
+//! * [`ExplicitModel`] — a finite explicit graph set (for predicates like
+//!   *non-split* that are not closed-above);
+//! * [`named`] — the model zoo used across examples and experiments: star
+//!   unions (Thm 6.13), symmetric rings, the non-empty-kernel and
+//!   non-split predicates (§2.1), tournaments;
+//! * [`adversary`] — graph adversaries that drive executions in the
+//!   runtime crate: generator-minimal, random-in-model, fixed sequences,
+//!   and exhaustive enumeration of generator schedules.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ksa_models::named;
+//! use ksa_models::ObliviousModel;
+//! use ksa_graphs::Digraph;
+//!
+//! // The symmetric union-of-2-stars model on 5 processes (Thm 6.13).
+//! let m = named::star_unions(5, 2).unwrap();
+//! assert_eq!(m.generators().len(), 10); // C(5,2) center sets
+//! assert!(m.contains(&Digraph::complete(5).unwrap()).unwrap());
+//! ```
+
+pub mod adversary;
+pub mod closed_above;
+pub mod error;
+pub mod explicit;
+pub mod named;
+
+pub use closed_above::ClosedAboveModel;
+pub use error::ModelError;
+pub use explicit::ExplicitModel;
+
+use ksa_graphs::Digraph;
+use rand::Rng;
+
+/// An oblivious communication model (Def 2.2): one fixed set of allowed
+/// graphs, used at every round.
+pub trait ObliviousModel {
+    /// Number of processes `n = |Π|`.
+    fn n(&self) -> usize;
+
+    /// Whether `g` is allowed at a round.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError`] if `g` lives on a different process set.
+    fn contains(&self, g: &Digraph) -> Result<bool, ModelError>;
+
+    /// Samples an allowed graph (seeded by the caller's `rng`).
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> Digraph;
+}
+
+/// Samples with a concrete `Rng` without the `dyn` indirection (blanket
+/// helper).
+pub fn sample_with<M: ObliviousModel + ?Sized, R: Rng>(model: &M, rng: &mut R) -> Digraph {
+    model.sample(rng)
+}

@@ -1,0 +1,251 @@
+//! Approximate consensus on non-split models (§2.1 context).
+//!
+//! The paper motivates closed-above models with the **non-split**
+//! predicate — "each pair of processes hears from a common process" — used
+//! by Charron-Bost, Függer and Nowak (the paper's \[8\]) to characterize
+//! approximate consensus: with the midpoint averaging rule, the diameter
+//! of the held values halves every non-split round, so ε-agreement is
+//! reached in `⌈log2(D/ε)⌉` rounds.
+//!
+//! This module implements the averaging substrate and the contraction
+//! analysis, giving the repository a second, quantitative agreement task
+//! on the same communication models. The halving theorem is re-proved in
+//! miniature in the tests: exhaustively over all non-split graphs on 3
+//! processes, and refuted on split rounds (loops-only).
+
+use crate::error::RuntimeError;
+use ksa_graphs::Digraph;
+use ksa_models::adversary::Adversary;
+
+/// The midpoint averaging rule: next value = (min received + max
+/// received) / 2.
+fn midpoint(values: &[f64]) -> f64 {
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (min + max) / 2.0
+}
+
+/// The spread (diameter) of held values.
+pub fn diameter(values: &[f64]) -> f64 {
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max > min {
+        max - min
+    } else {
+        0.0
+    }
+}
+
+/// Whether a graph is non-split: every pair of processes hears from a
+/// common process (§2.1).
+pub fn is_non_split(g: &Digraph) -> bool {
+    let n = g.n();
+    (0..n).all(|a| (a + 1..n).all(|b| !g.in_set(a).intersection(g.in_set(b)).is_empty()))
+}
+
+/// One averaging round along `g`: every process moves to the midpoint of
+/// the values it receives.
+///
+/// # Errors
+///
+/// [`RuntimeError::InputLengthMismatch`] if sizes disagree.
+pub fn averaging_round(g: &Digraph, values: &[f64]) -> Result<Vec<f64>, RuntimeError> {
+    if g.n() != values.len() {
+        return Err(RuntimeError::InputLengthMismatch {
+            inputs: values.len(),
+            n: g.n(),
+        });
+    }
+    Ok((0..g.n())
+        .map(|p| {
+            let received: Vec<f64> = g.in_set(p).iter().map(|q| values[q]).collect();
+            midpoint(&received)
+        })
+        .collect())
+}
+
+/// The trace of an approximate-consensus run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproxTrace {
+    /// Values per round (`values[0]` = inputs).
+    pub values: Vec<Vec<f64>>,
+    /// Diameter per round.
+    pub diameters: Vec<f64>,
+    /// Round at which the diameter first dropped to ≤ ε (if it did within
+    /// the budget).
+    pub converged_at: Option<usize>,
+}
+
+/// Runs midpoint averaging under `adversary` until the diameter is ≤
+/// `epsilon` or `max_rounds` elapse.
+///
+/// # Errors
+///
+/// [`RuntimeError::BadParameter`] for non-positive `epsilon`;
+/// [`RuntimeError::AdversaryGraphMismatch`] on a misbehaving adversary.
+pub fn run_approximate_consensus(
+    adversary: &mut dyn Adversary,
+    inputs: &[f64],
+    epsilon: f64,
+    max_rounds: usize,
+) -> Result<ApproxTrace, RuntimeError> {
+    if epsilon.is_nan() || epsilon <= 0.0 {
+        return Err(RuntimeError::BadParameter {
+            name: "epsilon",
+            value: 0,
+            domain: "(0, ∞)",
+        });
+    }
+    let n = inputs.len();
+    let mut values = vec![inputs.to_vec()];
+    let mut diameters = vec![diameter(inputs)];
+    let mut converged_at = (diameters[0] <= epsilon).then_some(0);
+    for round in 0..max_rounds {
+        if converged_at.is_some() {
+            break;
+        }
+        let g = adversary.graph_for_round(round);
+        if g.n() != n {
+            return Err(RuntimeError::AdversaryGraphMismatch {
+                round,
+                got: g.n(),
+                n,
+            });
+        }
+        let next = averaging_round(&g, values.last().expect("seeded"))?;
+        let d = diameter(&next);
+        values.push(next);
+        diameters.push(d);
+        if d <= epsilon {
+            converged_at = Some(round + 1);
+        }
+    }
+    Ok(ApproxTrace {
+        values,
+        diameters,
+        converged_at,
+    })
+}
+
+/// The halving theorem's round budget: `⌈log2(D/ε)⌉` non-split rounds
+/// suffice (0 when already within ε).
+pub fn rounds_to_epsilon(initial_diameter: f64, epsilon: f64) -> usize {
+    if initial_diameter <= epsilon {
+        return 0;
+    }
+    (initial_diameter / epsilon).log2().ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksa_models::adversary::FixedSequence;
+    use ksa_models::named;
+
+
+    #[test]
+    fn non_split_detection() {
+        // A broadcast star is non-split; loops-only is split.
+        assert!(is_non_split(
+            &ksa_graphs::families::broadcast_star(3, 0).unwrap()
+        ));
+        assert!(!is_non_split(&Digraph::empty(3).unwrap()));
+        // The directed 3-cycle IS non-split? In(0)={2,0}, In(1)={0,1}:
+        // common = {0} ✓; In(2)={1,2} vs In(0)={2,0}: common {2} ✓;
+        // In(1) vs In(2): common {1} ✓.
+        assert!(is_non_split(&ksa_graphs::families::cycle(3).unwrap()));
+        // C4 is split: In(0)={3,0} vs In(2)={1,2} share nothing.
+        assert!(!is_non_split(&ksa_graphs::families::cycle(4).unwrap()));
+    }
+
+    #[test]
+    fn diameter_halves_on_every_non_split_graph_n3() {
+        // The Charron-Bost–Függer–Nowak halving, exhaustively: every
+        // non-split 3-process graph contracts the diameter by ≥ 1/2 under
+        // midpoint averaging, for a grid of inputs.
+        let model = named::non_split(3, 1 << 18).unwrap();
+        let grids: Vec<Vec<f64>> = vec![
+            vec![0.0, 1.0, 0.5],
+            vec![0.0, 1.0, 1.0],
+            vec![-3.0, 2.0, 7.0],
+            vec![1.0, 1.0, 1.0],
+            vec![0.25, 0.5, 0.125],
+        ];
+        for g in model.graphs() {
+            assert!(is_non_split(g));
+            for inputs in &grids {
+                let before = diameter(inputs);
+                let after = diameter(&averaging_round(g, inputs).unwrap());
+                assert!(
+                    after <= before / 2.0 + 1e-12,
+                    "graph {g}, inputs {inputs:?}: {before} -> {after}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_round_can_stall() {
+        // Loops-only: nobody learns anything; the diameter is unchanged.
+        let e = Digraph::empty(3).unwrap();
+        let inputs = [0.0, 1.0, 0.5];
+        let after = averaging_round(&e, &inputs).unwrap();
+        assert_eq!(after.to_vec(), inputs.to_vec());
+    }
+
+    #[test]
+    fn values_stay_in_the_initial_hull() {
+        let g = ksa_graphs::families::cycle(3).unwrap();
+        let inputs = [0.0, 10.0, 4.0];
+        let after = averaging_round(&g, &inputs).unwrap();
+        for v in after {
+            assert!((0.0..=10.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn convergence_within_log_budget() {
+        // Kernel generators are non-split, so any schedule converges in
+        // ⌈log2(D/ε)⌉ rounds.
+        let model = named::non_empty_kernel(4).unwrap();
+        let inputs = [0.0, 1.0, 0.25, 0.75];
+        let eps = 1e-3;
+        let budget = rounds_to_epsilon(diameter(&inputs), eps);
+        assert_eq!(budget, 10);
+        let mut adv =
+            FixedSequence::new(vec![model.generators()[0].clone(), model.generators()[2].clone()]);
+        let trace = run_approximate_consensus(&mut adv, &inputs, eps, budget).unwrap();
+        assert!(trace.converged_at.is_some(), "{:?}", trace.diameters);
+        assert!(trace.converged_at.unwrap() <= budget);
+        // Diameters are non-increasing throughout.
+        for w in trace.diameters.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn split_schedule_never_converges() {
+        let mut adv = FixedSequence::new(vec![Digraph::empty(3).unwrap()]);
+        let trace =
+            run_approximate_consensus(&mut adv, &[0.0, 1.0, 0.5], 1e-3, 20).unwrap();
+        assert_eq!(trace.converged_at, None);
+        assert_eq!(trace.diameters.last().copied(), Some(1.0));
+    }
+
+    #[test]
+    fn parameters_validated() {
+        let mut adv = FixedSequence::new(vec![Digraph::empty(3).unwrap()]);
+        assert!(run_approximate_consensus(&mut adv, &[0.0], 0.0, 5).is_err());
+        let mut mismatched = FixedSequence::new(vec![Digraph::empty(4).unwrap()]);
+        assert!(run_approximate_consensus(&mut mismatched, &[0.0, 1.0], 0.5, 5).is_err());
+        assert!(averaging_round(&Digraph::empty(3).unwrap(), &[0.0]).is_err());
+    }
+
+    #[test]
+    fn already_converged_inputs() {
+        let mut adv = FixedSequence::new(vec![Digraph::complete(3).unwrap()]);
+        let trace = run_approximate_consensus(&mut adv, &[5.0, 5.0, 5.0], 0.1, 3).unwrap();
+        assert_eq!(trace.converged_at, Some(0));
+        assert_eq!(rounds_to_epsilon(0.0, 0.1), 0);
+    }
+}

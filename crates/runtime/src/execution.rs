@@ -1,0 +1,261 @@
+//! Executing oblivious algorithms over communication-closed rounds.
+//!
+//! The execution model is exactly the paper's (§2): at each round, every
+//! process sends its current **flat view** (the set of `(process, initial
+//! value)` pairs it knows — obliviousness baked in); the round's
+//! communication graph decides which messages arrive; receivers merge what
+//! they got. After `r` rounds, the algorithm's decision map runs on each
+//! final flat view.
+
+use crate::error::RuntimeError;
+use ksa_core::algorithms::ObliviousAlgorithm;
+use ksa_core::task::Value;
+use ksa_models::adversary::Adversary;
+use ksa_topology::interpretation::FlatView;
+
+/// A completed execution: the graphs played, the view evolution, the
+/// decisions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionTrace {
+    /// Initial values, indexed by process.
+    pub inputs: Vec<Value>,
+    /// The communication graph of each round.
+    pub graphs: Vec<ksa_graphs::Digraph>,
+    /// `views[round][process]`: the flat view after that round
+    /// (`views[0]` is the initial singleton view).
+    pub views: Vec<Vec<FlatView<Value>>>,
+    /// Final decisions, indexed by process.
+    pub decisions: Vec<Value>,
+}
+
+impl ExecutionTrace {
+    /// Number of distinct decided values.
+    pub fn distinct_decisions(&self) -> usize {
+        let mut d = self.decisions.clone();
+        d.sort_unstable();
+        d.dedup();
+        d.len()
+    }
+}
+
+/// Merges two sorted flat views (set union).
+fn merge(a: &FlatView<Value>, b: &FlatView<Value>) -> FlatView<Value> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Runs `algorithm` for `rounds` rounds under `adversary` from the given
+/// inputs, returning the full trace.
+///
+/// # Errors
+///
+/// [`RuntimeError::BadParameter`] for `rounds = 0`;
+/// [`RuntimeError::AdversaryGraphMismatch`] if the adversary misbehaves.
+pub fn execute<A: ObliviousAlgorithm + ?Sized>(
+    algorithm: &A,
+    adversary: &mut dyn Adversary,
+    inputs: &[Value],
+    rounds: usize,
+) -> Result<ExecutionTrace, RuntimeError> {
+    if rounds == 0 {
+        return Err(RuntimeError::BadParameter {
+            name: "rounds",
+            value: 0,
+            domain: "[1, ∞)",
+        });
+    }
+    let n = inputs.len();
+    let mut views: Vec<Vec<FlatView<Value>>> = Vec::with_capacity(rounds + 1);
+    views.push(
+        inputs
+            .iter()
+            .enumerate()
+            .map(|(p, &v)| vec![(p, v)])
+            .collect(),
+    );
+    let mut graphs = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let g = adversary.graph_for_round(round);
+        if g.n() != n {
+            return Err(RuntimeError::AdversaryGraphMismatch {
+                round,
+                got: g.n(),
+                n,
+            });
+        }
+        let prev = views.last().expect("seeded with the initial views");
+        let mut next: Vec<FlatView<Value>> = Vec::with_capacity(n);
+        for p in 0..n {
+            let mut acc: FlatView<Value> = Vec::new();
+            for q in g.in_set(p).iter() {
+                acc = merge(&acc, &prev[q]);
+            }
+            next.push(acc);
+        }
+        graphs.push(g);
+        views.push(next);
+    }
+    let final_views = views.last().expect("at least one round ran");
+    let decisions = (0..n)
+        .map(|p| algorithm.decide(p, &final_views[p]))
+        .collect();
+    Ok(ExecutionTrace {
+        inputs: inputs.to_vec(),
+        graphs,
+        views,
+        decisions,
+    })
+}
+
+/// Runs an execution along an explicit graph schedule (convenience wrapper
+/// used everywhere by the checker).
+///
+/// # Errors
+///
+/// [`RuntimeError::BadParameter`] when `schedule` is empty; size
+/// mismatches as in [`execute`].
+pub fn execute_schedule<A: ObliviousAlgorithm + ?Sized>(
+    algorithm: &A,
+    schedule: &[ksa_graphs::Digraph],
+    inputs: &[Value],
+) -> Result<ExecutionTrace, RuntimeError> {
+    if schedule.is_empty() {
+        return Err(RuntimeError::BadParameter {
+            name: "schedule",
+            value: 0,
+            domain: "non-empty",
+        });
+    }
+    let mut adv = ksa_models::adversary::FixedSequence::new(schedule.to_vec());
+    execute(algorithm, &mut adv, inputs, schedule.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksa_core::algorithms::{MinOfAll, MinOfDominatingSet};
+    use ksa_graphs::{families, Digraph, ProcSet};
+    use ksa_models::adversary::FixedSequence;
+
+    #[test]
+    fn one_round_cycle_views() {
+        let c = families::cycle(3).unwrap();
+        let trace =
+            execute_schedule(&MinOfAll::new(), std::slice::from_ref(&c), &[5, 1, 3]).unwrap();
+        // In(0) = {0, 2}: knows (0,5) and (2,3).
+        assert_eq!(trace.views[1][0], vec![(0, 5), (2, 3)]);
+        assert_eq!(trace.decisions, vec![3, 1, 1]);
+        assert_eq!(trace.distinct_decisions(), 2);
+    }
+
+    #[test]
+    fn complete_graph_floods_in_one_round() {
+        let k = Digraph::complete(4).unwrap();
+        let trace =
+            execute_schedule(&MinOfAll::new(), std::slice::from_ref(&k), &[9, 2, 7, 4]).unwrap();
+        for p in 0..4 {
+            assert_eq!(trace.views[1][p].len(), 4);
+            assert_eq!(trace.decisions[p], 2);
+        }
+        assert_eq!(trace.distinct_decisions(), 1);
+    }
+
+    #[test]
+    fn loops_only_keeps_everyone_ignorant() {
+        let e = Digraph::empty(3).unwrap();
+        let trace =
+            execute_schedule(&MinOfAll::new(), std::slice::from_ref(&e), &[4, 5, 6]).unwrap();
+        assert_eq!(trace.decisions, vec![4, 5, 6]);
+        assert_eq!(trace.distinct_decisions(), 3);
+    }
+
+    #[test]
+    fn multi_round_flooding_on_cycle() {
+        // C4 takes 3 rounds for full dissemination.
+        let c = families::cycle(4).unwrap();
+        let sched = vec![c.clone(), c.clone(), c];
+        let trace = execute_schedule(&MinOfAll::new(), &sched, &[8, 1, 6, 3]).unwrap();
+        for p in 0..4 {
+            assert_eq!(trace.views[3][p].len(), 4, "p{p} knows everything");
+            assert_eq!(trace.decisions[p], 1);
+        }
+        // After round 1 each process knows exactly 2 pairs.
+        for p in 0..4 {
+            assert_eq!(trace.views[1][p].len(), 2);
+        }
+    }
+
+    #[test]
+    fn views_match_product_dissemination() {
+        // Who p knows after rounds g1, g2 = In of the product, dually.
+        let g1 = families::cycle(4).unwrap();
+        let g2 = families::broadcast_star(4, 2).unwrap();
+        let sched = vec![g1.clone(), g2.clone()];
+        let trace = execute_schedule(&MinOfAll::new(), &sched, &[0, 1, 2, 3]).unwrap();
+        let prod = ksa_graphs::product::product(&g1, &g2).unwrap();
+        for p in 0..4 {
+            let known: ProcSet = trace.views[2][p].iter().map(|&(q, _)| q).collect();
+            assert_eq!(known, prod.in_set(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn dominating_set_algorithm_on_ring_closure() {
+        // Thm 3.2 in action: {p0, p2} dominates C4; at most 2 values
+        // decided on ANY superset of C4.
+        let c = families::cycle(4).unwrap();
+        let alg = MinOfDominatingSet::for_graph(&c);
+        let mut superset = c.clone();
+        superset.add_edge(0, 2).unwrap();
+        superset.add_edge(3, 1).unwrap();
+        let trace =
+            execute_schedule(&alg, std::slice::from_ref(&superset), &[4, 3, 2, 1]).unwrap();
+        assert!(trace.distinct_decisions() <= 2, "{:?}", trace.decisions);
+        // Validity: all decisions are inputs.
+        for d in &trace.decisions {
+            assert!(trace.inputs.contains(d));
+        }
+    }
+
+    #[test]
+    fn zero_rounds_rejected() {
+        let mut adv = FixedSequence::new(vec![families::cycle(3).unwrap()]);
+        assert!(execute(&MinOfAll::new(), &mut adv, &[1, 2, 3], 0).is_err());
+        assert!(execute_schedule(&MinOfAll::new(), &[], &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn adversary_size_mismatch_detected() {
+        let mut adv = FixedSequence::new(vec![families::cycle(4).unwrap()]);
+        let err = execute(&MinOfAll::new(), &mut adv, &[1, 2, 3], 1).unwrap_err();
+        assert!(matches!(err, RuntimeError::AdversaryGraphMismatch { .. }));
+    }
+
+    #[test]
+    fn merge_is_set_union() {
+        let a = vec![(0, 1), (2, 3)];
+        let b = vec![(1, 2), (2, 3)];
+        assert_eq!(super::merge(&a, &b), vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(super::merge(&a, &vec![]), a);
+    }
+}

@@ -1,0 +1,232 @@
+//! The full-information protocol and Def 2.5's `flat(·)`.
+//!
+//! The paper defines oblivious algorithms as full-information protocols
+//! whose decision map only sees the **flattened** view: after rounds of
+//! exchanging entire histories, `flat` forgets who said what when and
+//! keeps only the `(process, initial value)` pairs. This module implements
+//! the nested views literally and proves (in tests, and via
+//! [`flatten_matches_oblivious_execution`] used by integration tests) that
+//! flattening the full-information protocol reproduces exactly the flat
+//! views the oblivious engine in [`execution`](crate::execution) computes
+//! directly.
+
+use crate::error::RuntimeError;
+use ksa_core::task::Value;
+use ksa_graphs::Digraph;
+use ksa_topology::interpretation::FlatView;
+
+/// A full-information view: either an initial value, or the bundle of
+/// views received in the last round (sender → what the sender knew).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FullView {
+    /// The process's initial value (the round-0 view).
+    Input(Value),
+    /// One round of received histories: `(sender, sender's previous
+    /// view)`, sorted by sender.
+    Round(Vec<(usize, FullView)>),
+}
+
+impl FullView {
+    /// The nesting depth (0 for an initial value) — equals the number of
+    /// rounds executed.
+    pub fn depth(&self) -> usize {
+        match self {
+            FullView::Input(_) => 0,
+            FullView::Round(pairs) => {
+                1 + pairs.iter().map(|(_, v)| v.depth()).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Def 2.5's `flat`: the set of `(process, initial value)` pairs
+    /// appearing anywhere in the view. `owner` is the process holding the
+    /// view (needed to attribute a bare `Input`).
+    pub fn flatten(&self, owner: usize) -> FlatView<Value> {
+        let mut out = Vec::new();
+        self.collect(owner, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect(&self, owner: usize, out: &mut Vec<(usize, Value)>) {
+        match self {
+            FullView::Input(v) => out.push((owner, *v)),
+            FullView::Round(pairs) => {
+                for (sender, view) in pairs {
+                    view.collect(*sender, out);
+                }
+            }
+        }
+    }
+}
+
+/// Runs the full-information protocol along a fixed schedule and returns
+/// the per-round nested views: `views[r][p]` after round `r`
+/// (`views[0]` are the `Input`s).
+///
+/// # Errors
+///
+/// [`RuntimeError::BadParameter`] for an empty schedule;
+/// [`RuntimeError::AdversaryGraphMismatch`] on size mismatches.
+pub fn run_full_information(
+    schedule: &[Digraph],
+    inputs: &[Value],
+) -> Result<Vec<Vec<FullView>>, RuntimeError> {
+    if schedule.is_empty() {
+        return Err(RuntimeError::BadParameter {
+            name: "schedule",
+            value: 0,
+            domain: "non-empty",
+        });
+    }
+    let n = inputs.len();
+    let mut views: Vec<Vec<FullView>> =
+        vec![inputs.iter().map(|&v| FullView::Input(v)).collect()];
+    for (round, g) in schedule.iter().enumerate() {
+        if g.n() != n {
+            return Err(RuntimeError::AdversaryGraphMismatch {
+                round,
+                got: g.n(),
+                n,
+            });
+        }
+        let prev = views.last().expect("seeded");
+        let next: Vec<FullView> = (0..n)
+            .map(|p| {
+                FullView::Round(
+                    g.in_set(p)
+                        .iter()
+                        .map(|q| (q, prev[q].clone()))
+                        .collect(),
+                )
+            })
+            .collect();
+        views.push(next);
+    }
+    Ok(views)
+}
+
+/// The bridge theorem behind Def 2.5, checked computationally: flattening
+/// the full-information views equals the flat views of the oblivious
+/// engine, at every round, for every process. Returns `Ok(true)` when
+/// they all match.
+///
+/// # Errors
+///
+/// Propagates execution errors.
+pub fn flatten_matches_oblivious_execution(
+    schedule: &[Digraph],
+    inputs: &[Value],
+) -> Result<bool, RuntimeError> {
+    let full = run_full_information(schedule, inputs)?;
+    let oblivious = crate::execution::execute_schedule(
+        &ksa_core::algorithms::MinOfAll::new(),
+        schedule,
+        inputs,
+    )?;
+    for (r, row) in full.iter().enumerate() {
+        for (p, view) in row.iter().enumerate() {
+            if view.flatten(p) != oblivious.views[r][p] {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksa_graphs::families;
+
+    #[test]
+    fn depth_counts_rounds() {
+        let c = families::cycle(3).unwrap();
+        let views = run_full_information(&[c.clone(), c], &[1, 2, 3]).unwrap();
+        assert_eq!(views[0][0].depth(), 0);
+        assert_eq!(views[1][0].depth(), 1);
+        assert_eq!(views[2][0].depth(), 2);
+    }
+
+    #[test]
+    fn flatten_input() {
+        assert_eq!(FullView::Input(7).flatten(2), vec![(2, 7)]);
+    }
+
+    #[test]
+    fn one_round_flatten_matches_in_set() {
+        let c = families::cycle(3).unwrap();
+        let views = run_full_information(std::slice::from_ref(&c), &[5, 6, 7]).unwrap();
+        // p0 heard p2 (and itself): flat view {(0,5), (2,7)}.
+        assert_eq!(views[1][0].flatten(0), vec![(0, 5), (2, 7)]);
+    }
+
+    #[test]
+    fn nested_views_keep_provenance_but_flat_forgets_it() {
+        // Two rounds of C3: p0's nested view distinguishes "p2 told me
+        // p1's value" from "p1 told me directly"; flat does not.
+        let c = families::cycle(3).unwrap();
+        let views = run_full_information(&[c.clone(), c.clone()], &[5, 6, 7]).unwrap();
+        let v = &views[2][0];
+        // Structure: Round[(0, Round[...]), (2, Round[...])].
+        match v {
+            FullView::Round(pairs) => {
+                assert_eq!(pairs.len(), 2);
+                assert_eq!(pairs[0].0, 0);
+                assert_eq!(pairs[1].0, 2);
+            }
+            _ => panic!("expected a Round view"),
+        }
+        // Flat view: after 2 rounds of C3, p0 heard everyone.
+        assert_eq!(v.flatten(0), vec![(0, 5), (1, 6), (2, 7)]);
+    }
+
+    #[test]
+    fn bridge_theorem_on_families() {
+        for schedule in [
+            vec![families::cycle(4).unwrap()],
+            vec![families::cycle(4).unwrap(), families::path(4).unwrap()],
+            vec![
+                families::broadcast_star(4, 1).unwrap(),
+                families::cycle(4).unwrap(),
+                families::forward_matching(4).unwrap(),
+            ],
+        ] {
+            assert!(
+                flatten_matches_oblivious_execution(&schedule, &[9, 3, 5, 1]).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn bridge_theorem_on_random_schedules() {
+        use ksa_graphs::random::random_digraph;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(25);
+        for _ in 0..20 {
+            let schedule: Vec<Digraph> = (0..3)
+                .map(|_| random_digraph(4, 0.4, &mut rng).expect("valid"))
+                .collect();
+            assert!(
+                flatten_matches_oblivious_execution(&schedule, &[4, 8, 2, 6]).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_schedule_rejected() {
+        assert!(run_full_information(&[], &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn duplicate_values_flatten_correctly() {
+        // Same value at two processes: flat keeps both pairs (names
+        // matter in the pair set, even though the oblivious decision only
+        // uses values — exactly Def 2.5's point).
+        let k = ksa_graphs::Digraph::complete(2).unwrap();
+        let views = run_full_information(std::slice::from_ref(&k), &[5, 5]).unwrap();
+        assert_eq!(views[1][0].flatten(0), vec![(0, 5), (1, 5)]);
+    }
+}

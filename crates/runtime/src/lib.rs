@@ -1,0 +1,42 @@
+//! # ksa-runtime
+//!
+//! The round-based execution substrate for the reproduction of *"K-set
+//! agreement bounds in round-based models through combinatorial topology"*
+//! (Shimi & Castañeda, PODC 2020).
+//!
+//! The theory crates compute what is and is not solvable; this crate
+//! actually **runs** the algorithms:
+//!
+//! * [`execution`] — execute an oblivious algorithm (Def 2.5) for `r`
+//!   communication-closed rounds under a graph [`Adversary`]
+//!   (re-exported from `ksa-models`), collecting full traces;
+//! * [`checker`] — exhaustive model checking for small instances: every
+//!   generator schedule × every input assignment, verifying validity and
+//!   counting distinct decisions (the empirical teeth of the upper
+//!   bounds, and witness-finder for the lower bounds);
+//! * [`monte_carlo`] — seeded random exploration for instances beyond the
+//!   exhaustive budget.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ksa_runtime::execution::execute;
+//! use ksa_core::algorithms::MinOfAll;
+//! use ksa_models::adversary::FixedSequence;
+//! use ksa_graphs::families;
+//!
+//! // One round of C3: p0 hears p2, so it decides min(v0, v2).
+//! let mut adv = FixedSequence::new(vec![families::cycle(3).unwrap()]);
+//! let trace = execute(&MinOfAll::new(), &mut adv, &[5, 1, 3], 1).unwrap();
+//! assert_eq!(trace.decisions, vec![3, 1, 1]);
+//! ```
+
+pub mod approx;
+pub mod checker;
+pub mod error;
+pub mod execution;
+pub mod full_info;
+pub mod monte_carlo;
+
+pub use error::RuntimeError;
+pub use ksa_models::adversary::Adversary;

@@ -1,0 +1,96 @@
+//! Property-based tests for the runtime substrate.
+
+use ksa_core::algorithms::MinOfAll;
+use ksa_core::task::Value;
+use ksa_graphs::Digraph;
+use ksa_runtime::approx::{averaging_round, diameter, is_non_split};
+use ksa_runtime::execution::execute_schedule;
+use ksa_runtime::full_info::flatten_matches_oblivious_execution;
+use proptest::prelude::*;
+
+fn digraph(n: usize) -> impl Strategy<Value = Digraph> {
+    prop::collection::vec(any::<bool>(), n * n).prop_map(move |edges| {
+        let mut g = Digraph::empty(n).expect("valid n");
+        for u in 0..n {
+            for v in 0..n {
+                if u != v && edges[u * n + v] {
+                    g.add_edge(u, v).expect("in range");
+                }
+            }
+        }
+        g
+    })
+}
+
+fn schedule(n: usize) -> impl Strategy<Value = Vec<Digraph>> {
+    prop::collection::vec(digraph(n), 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn views_grow_monotonically(s in schedule(4), seed in 0u32..100) {
+        let inputs: Vec<Value> = (0..4).map(|p| (seed + p) % 5).collect();
+        let trace = execute_schedule(&MinOfAll::new(), &s, &inputs).expect("runs");
+        for p in 0..4 {
+            for r in 1..trace.views.len() {
+                // Everything known at round r−1 is still known at round r
+                // (self-loops re-deliver own knowledge).
+                for pair in &trace.views[r - 1][p] {
+                    prop_assert!(trace.views[r][p].contains(pair));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_are_valid_and_known(s in schedule(4), seed in 0u32..100) {
+        let inputs: Vec<Value> = (0..4).map(|p| (seed * 3 + p * 7) % 9).collect();
+        let trace = execute_schedule(&MinOfAll::new(), &s, &inputs).expect("runs");
+        for (p, d) in trace.decisions.iter().enumerate() {
+            prop_assert!(trace.inputs.contains(d));
+            // The min algorithm decides a value it actually heard.
+            prop_assert!(trace.views.last().expect("rounds ≥ 1")[p]
+                .iter()
+                .any(|&(_, v)| v == *d));
+        }
+    }
+
+    #[test]
+    fn full_information_bridge(s in schedule(4)) {
+        prop_assert!(
+            flatten_matches_oblivious_execution(&s, &[4, 1, 3, 2]).expect("runs")
+        );
+    }
+
+    #[test]
+    fn distinct_decisions_bounded_by_sources(s in schedule(4), seed in 0u32..50) {
+        // Never more distinct decisions than distinct inputs.
+        let inputs: Vec<Value> = (0..4).map(|p| (seed + p * 2) % 3).collect();
+        let mut distinct_inputs = inputs.clone();
+        distinct_inputs.sort_unstable();
+        distinct_inputs.dedup();
+        let trace = execute_schedule(&MinOfAll::new(), &s, &inputs).expect("runs");
+        prop_assert!(trace.distinct_decisions() <= distinct_inputs.len());
+    }
+
+    #[test]
+    fn averaging_stays_in_hull_and_contracts_on_non_split(
+        g in digraph(4),
+        raw in prop::collection::vec(0.0f64..10.0, 4),
+    ) {
+        let before = diameter(&raw);
+        let after_vals = averaging_round(&g, &raw).expect("sizes match");
+        let lo = raw.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = raw.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for v in &after_vals {
+            prop_assert!(*v >= lo - 1e-12 && *v <= hi + 1e-12);
+        }
+        let after = diameter(&after_vals);
+        prop_assert!(after <= before + 1e-12, "diameter never grows");
+        if is_non_split(&g) {
+            prop_assert!(after <= before / 2.0 + 1e-12, "halving on non-split");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Error types for the topology substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simplicial-complex machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// Two vertices of one simplex carried the same color (violates
+    /// Def 4.1's "at most one view per color").
+    DuplicateColor {
+        /// The repeated color.
+        color: usize,
+    },
+    /// An operation requiring a pure complex received an impure one.
+    NotPure,
+    /// An operation received an empty complex or empty facet list.
+    EmptyComplex,
+    /// A pseudosphere constructor received an empty view set for a color
+    /// that was supposed to participate.
+    EmptyViewSet {
+        /// The color with no views.
+        color: usize,
+    },
+    /// The requested construction exceeds the configured size budget.
+    TooLarge {
+        /// A human-readable description of the limit hit.
+        what: &'static str,
+        /// The estimated size.
+        estimated: u128,
+        /// The configured limit.
+        limit: u128,
+    },
+    /// An underlying graph-layer error.
+    Graph(ksa_graphs::GraphError),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::DuplicateColor { color } => {
+                write!(f, "two vertices share color {color} in one simplex")
+            }
+            TopologyError::NotPure => write!(f, "the complex is not pure"),
+            TopologyError::EmptyComplex => write!(f, "the complex is empty"),
+            TopologyError::EmptyViewSet { color } => {
+                write!(f, "color {color} has an empty view set")
+            }
+            TopologyError::TooLarge {
+                what,
+                estimated,
+                limit,
+            } => write!(
+                f,
+                "{what} would have about {estimated} elements, above the limit {limit}"
+            ),
+            TopologyError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl Error for TopologyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TopologyError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ksa_graphs::GraphError> for TopologyError {
+    fn from(e: ksa_graphs::GraphError) -> Self {
+        TopologyError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            TopologyError::DuplicateColor { color: 2 },
+            TopologyError::NotPure,
+            TopologyError::EmptyComplex,
+            TopologyError::EmptyViewSet { color: 0 },
+            TopologyError::TooLarge {
+                what: "pseudosphere",
+                estimated: 1 << 40,
+                limit: 1 << 20,
+            },
+            TopologyError::Graph(ksa_graphs::GraphError::EmptyProcessSet),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn graph_error_has_source() {
+        let e = TopologyError::from(ksa_graphs::GraphError::EmptyProcessSet);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,139 @@
+//! Simplicial joins.
+//!
+//! The join `A * B` of two complexes on disjoint color sets has simplexes
+//! `σ ∪ τ` for `σ ∈ A ∪ {∅}`, `τ ∈ B ∪ {∅}`. Joins are how pseudospheres
+//! decompose — `φ(Π; V_1, …, V_n)` is the join of the `n` discrete view
+//! sets — which is exactly why Lemma 4.7's connectivity holds: joining
+//! with a non-empty complex raises connectivity by that complex's
+//! connectivity plus two.
+
+use crate::complex::Complex;
+use crate::error::TopologyError;
+use crate::simplex::{Simplex, View};
+
+/// The join `a * b`. Requires disjoint color sets.
+///
+/// Facets of the join are unions of facets (the empty-side cases are
+/// subsumed unless one complex is void, in which case the join is the
+/// other complex).
+///
+/// # Errors
+///
+/// [`TopologyError::DuplicateColor`] if the color sets intersect.
+pub fn join<V: View>(a: &Complex<V>, b: &Complex<V>) -> Result<Complex<V>, TopologyError> {
+    if a.is_void() {
+        return Ok(b.clone());
+    }
+    if b.is_void() {
+        return Ok(a.clone());
+    }
+    let mut facets = Vec::new();
+    for fa in a.facets() {
+        for fb in b.facets() {
+            let mut verts = fa.vertices().to_vec();
+            verts.extend(fb.vertices().iter().cloned());
+            facets.push(Simplex::new(verts)?);
+        }
+    }
+    Ok(Complex::from_facets(facets))
+}
+
+/// The iterated join of a family of complexes (left fold).
+///
+/// # Errors
+///
+/// Same conditions as [`join`]; [`TopologyError::EmptyComplex`] for an
+/// empty family.
+pub fn join_all<V: View>(parts: &[Complex<V>]) -> Result<Complex<V>, TopologyError> {
+    let mut it = parts.iter();
+    let first = it.next().ok_or(TopologyError::EmptyComplex)?;
+    let mut acc = first.clone();
+    for p in it {
+        acc = join(&acc, p)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::homological_connectivity;
+    use crate::pseudosphere::Pseudosphere;
+    use crate::simplex::Vertex;
+
+    fn points(color: usize, vals: &[u32]) -> Complex<u32> {
+        Complex::from_facets(vals.iter().map(|&v| Simplex::vertex(color, v)))
+    }
+
+    #[test]
+    fn join_of_two_points_sets_is_bipartite() {
+        let a = points(0, &[0, 1]);
+        let b = points(1, &[0, 1]);
+        let j = join(&a, &b).unwrap();
+        // 2×2 edges: the 4-cycle (a circle).
+        assert_eq!(j.facet_count(), 4);
+        assert_eq!(j.dim(), 1);
+        assert_eq!(homological_connectivity(&j), 0);
+    }
+
+    #[test]
+    fn pseudosphere_is_join_of_view_sets() {
+        let ps = Pseudosphere::new(vec![
+            (0, vec![0u32, 1]),
+            (1, vec![0, 1, 2]),
+            (2, vec![7]),
+        ])
+        .unwrap();
+        let parts = vec![points(0, &[0, 1]), points(1, &[0, 1, 2]), points(2, &[7])];
+        assert_eq!(join_all(&parts).unwrap(), ps.to_complex());
+    }
+
+    #[test]
+    fn join_raises_connectivity() {
+        // conn(A * B) ≥ conn(A) + conn(B) + 2 (here: two 2-point sets,
+        // each (−1)-connected... exactly: join of discrete sets of size 2
+        // k times is an (k−1)-sphere: (k−2)-connected).
+        let mut acc = points(0, &[0, 1]);
+        for c in 1..4 {
+            acc = join(&acc, &points(c, &[0, 1])).unwrap();
+            let expect = c as isize - 1; // (c+1 colors) − 2
+            assert_eq!(homological_connectivity(&acc), expect, "colors = {}", c + 1);
+        }
+    }
+
+    #[test]
+    fn join_with_point_is_cone_hence_contractible() {
+        let circle = {
+            let tri = Simplex::new(
+                (0..3).map(|c| Vertex::new(c, 0u32)).collect(),
+            )
+            .unwrap();
+            Complex::boundary_of(&tri)
+        };
+        assert_eq!(homological_connectivity(&circle), 0);
+        let cone = join(&circle, &points(9, &[0])).unwrap();
+        // A cone is contractible: all reduced homology vanishes.
+        assert!(homological_connectivity(&cone) >= cone.dim() - 1);
+        let betti = crate::homology::reduced_betti_numbers(&cone);
+        assert!(betti.iter().all(|&b| b == 0), "{betti:?}");
+    }
+
+    #[test]
+    fn join_with_void_is_identity() {
+        let a = points(0, &[0, 1]);
+        assert_eq!(join(&a, &Complex::void()).unwrap(), a);
+        assert_eq!(join(&Complex::void(), &a).unwrap(), a);
+    }
+
+    #[test]
+    fn overlapping_colors_rejected() {
+        let a = points(0, &[0]);
+        let b = points(0, &[1]);
+        assert!(join(&a, &b).is_err());
+    }
+
+    #[test]
+    fn join_all_empty_family_rejected() {
+        assert!(join_all::<u32>(&[]).is_err());
+    }
+}

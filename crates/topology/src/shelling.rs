@@ -1,0 +1,295 @@
+//! Shellability (§4.4, Figure 4).
+//!
+//! A pure `d`-complex is **shellable** when its facets can be ordered
+//! `φ_1, …, φ_r` so that each `(⋃_{i≤t} φ_i) ∩ φ_{t+1}` is a pure
+//! `(d−1)`-dimensional subcomplex of `∂φ_{t+1}`. Shellable complexes are
+//! the scaffolding of the paper's main technical Lemma 4.17 (the input
+//! pseudosphere is shelled facet by facet, and the interpreted images are
+//! glued with Cor 4.16).
+//!
+//! This module verifies candidate shelling orders exactly, and decides
+//! shellability by memoized search over facet subsets (exact, exponential:
+//! fine for the ≤ 20-facet complexes in the paper's figures and our
+//! experiments).
+
+use crate::complex::Complex;
+use crate::error::TopologyError;
+use crate::simplex::{Simplex, View};
+use std::collections::HashMap;
+
+/// Whether adding `new` after the facets in `prior` satisfies the shelling
+/// condition: `(⋃ prior) ∩ new` is non-void, pure of dimension
+/// `dim(new) − 1`.
+fn step_ok<V: View>(prior: &[Simplex<V>], new: &Simplex<V>) -> bool {
+    let d = new.dim();
+    // Maximal intersections with earlier facets.
+    let mut inters: Vec<Simplex<V>> = prior
+        .iter()
+        .map(|p| p.intersection(new))
+        .filter(|s| !s.is_empty())
+        .collect();
+    if inters.is_empty() {
+        return false;
+    }
+    // Keep only maximal ones.
+    inters.sort_by_key(|s| std::cmp::Reverse(s.len()));
+    let mut maximal: Vec<Simplex<V>> = Vec::new();
+    'outer: for s in inters {
+        for m in &maximal {
+            if m.contains(&s) {
+                continue 'outer;
+            }
+        }
+        maximal.push(s);
+    }
+    // Pure of dimension d − 1: every maximal intersection is a (d−1)-face.
+    maximal.iter().all(|s| s.dim() == d - 1)
+}
+
+/// Verifies that `order` is a shelling order of the pure complex it spans.
+///
+/// # Errors
+///
+/// [`TopologyError::EmptyComplex`] for an empty order;
+/// [`TopologyError::NotPure`] if the facets have mixed dimensions.
+pub fn is_shelling_order<V: View>(order: &[Simplex<V>]) -> Result<bool, TopologyError> {
+    let first = order.first().ok_or(TopologyError::EmptyComplex)?;
+    let d = first.dim();
+    if order.iter().any(|s| s.dim() != d) {
+        return Err(TopologyError::NotPure);
+    }
+    for t in 1..order.len() {
+        if !step_ok(&order[..t], &order[t]) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Searches for a shelling order of a pure complex. Returns `None` when the
+/// complex is not shellable.
+///
+/// Memoized subset search: `O(2^r · r²)` pair checks for `r` facets
+/// (`r ≤ 63` enforced).
+///
+/// # Errors
+///
+/// [`TopologyError::EmptyComplex`] / [`TopologyError::NotPure`] as in
+/// [`is_shelling_order`]; [`TopologyError::TooLarge`] beyond 63 facets.
+pub fn find_shelling_order<V: View>(
+    complex: &Complex<V>,
+) -> Result<Option<Vec<Simplex<V>>>, TopologyError> {
+    complex.require_pure()?;
+    let facets: Vec<Simplex<V>> = complex.facets().cloned().collect();
+    let r = facets.len();
+    if r > 63 {
+        return Err(TopologyError::TooLarge {
+            what: "facets for shellability search",
+            estimated: r as u128,
+            limit: 63,
+        });
+    }
+    if r == 1 {
+        return Ok(Some(facets));
+    }
+    // step_ok depends only on (used-set, next); precompute pairwise
+    // (d−1)-intersection structure lazily through step_ok on slices.
+    // Memoized DFS over used-sets.
+    let mut memo: HashMap<u64, bool> = HashMap::new();
+    fn dfs<V: View>(
+        facets: &[Simplex<V>],
+        used: u64,
+        picked: &mut Vec<usize>,
+        memo: &mut HashMap<u64, bool>,
+    ) -> bool {
+        let r = facets.len();
+        if picked.len() == r {
+            return true;
+        }
+        if let Some(&ok) = memo.get(&used) {
+            if !ok {
+                return false;
+            }
+            // `true` is never cached for incomplete states (we return on
+            // first success), so reaching here means unknown.
+        }
+        let prior: Vec<Simplex<V>> = picked.iter().map(|&i| facets[i].clone()).collect();
+        for next in 0..r {
+            if used >> next & 1 == 1 {
+                continue;
+            }
+            if step_ok(&prior, &facets[next]) {
+                picked.push(next);
+                if dfs(facets, used | (1 << next), picked, memo) {
+                    return true;
+                }
+                picked.pop();
+            }
+        }
+        memo.insert(used, false);
+        false
+    }
+
+    // Any facet can start.
+    for start in 0..r {
+        let mut picked = vec![start];
+        if dfs(&facets, 1u64 << start, &mut picked, &mut memo) {
+            return Ok(Some(picked.into_iter().map(|i| facets[i].clone()).collect()));
+        }
+    }
+    Ok(None)
+}
+
+/// Whether a pure complex is shellable.
+///
+/// # Errors
+///
+/// Same conditions as [`find_shelling_order`].
+pub fn is_shellable<V: View>(complex: &Complex<V>) -> Result<bool, TopologyError> {
+    Ok(find_shelling_order(complex)?.is_some())
+}
+
+/// Lemma 4.15 sanity helper: for a pure `(d−1)`-dimensional subcomplex of
+/// the boundary of a `d`-simplex, *every* facet order is a shelling order.
+/// Returns true when that holds for the given complex (used by tests and
+/// the Lemma 4.17 experiment).
+pub fn every_order_shells<V: View>(complex: &Complex<V>) -> Result<bool, TopologyError> {
+    complex.require_pure()?;
+    let facets: Vec<Simplex<V>> = complex.facets().cloned().collect();
+    if facets.len() > 8 {
+        return Err(TopologyError::TooLarge {
+            what: "facets for exhaustive order check",
+            estimated: facets.len() as u128,
+            limit: 8,
+        });
+    }
+    let mut idx: Vec<usize> = (0..facets.len()).collect();
+    // Heap's algorithm over indices.
+    fn rec<V: View>(k: usize, idx: &mut Vec<usize>, facets: &[Simplex<V>]) -> bool {
+        if k <= 1 {
+            let order: Vec<Simplex<V>> = idx.iter().map(|&i| facets[i].clone()).collect();
+            return is_shelling_order(&order).unwrap_or(false);
+        }
+        for i in 0..k {
+            if !rec(k - 1, idx, facets) {
+                return false;
+            }
+            if k.is_multiple_of(2) {
+                idx.swap(i, k - 1);
+            } else {
+                idx.swap(0, k - 1);
+            }
+        }
+        rec(k - 1, idx, facets)
+    }
+    let n = idx.len();
+    Ok(rec(n, &mut idx, &facets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::Vertex;
+
+    fn simplex(colors: &[usize]) -> Simplex<u32> {
+        Simplex::new(colors.iter().map(|&c| Vertex::new(c, 0u32)).collect()).unwrap()
+    }
+
+    #[test]
+    fn figure_4a_is_shellable() {
+        // Two triangles sharing an edge (the paper's shellable exemplar).
+        let c = Complex::from_facets(vec![simplex(&[0, 1, 2]), simplex(&[0, 2, 3])]);
+        assert!(is_shellable(&c).unwrap());
+        let order = find_shelling_order(&c).unwrap().unwrap();
+        assert!(is_shelling_order(&order).unwrap());
+        assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn figure_4b_is_not_shellable() {
+        // Two triangles sharing only a vertex (the paper's non-shellable
+        // exemplar): the second facet meets the first in dimension 0 ≠ 1.
+        let c = Complex::from_facets(vec![simplex(&[0, 1, 2]), simplex(&[2, 3, 4])]);
+        assert!(!is_shellable(&c).unwrap());
+    }
+
+    #[test]
+    fn single_facet_is_shellable() {
+        let c = Complex::of_simplex(simplex(&[0, 1, 2]));
+        assert!(is_shellable(&c).unwrap());
+    }
+
+    #[test]
+    fn boundary_of_simplex_is_shellable_any_order() {
+        // Lemma 4.15: the full boundary complex of a simplex shells in any
+        // facet order.
+        for d in 2..5 {
+            let s = simplex(&(0..=d).collect::<Vec<_>>());
+            let b = Complex::boundary_of(&s);
+            assert!(every_order_shells(&b).unwrap(), "d = {d}");
+        }
+    }
+
+    #[test]
+    fn sub_boundary_complexes_shell_any_order() {
+        // Lemma 4.15 proper: any pure (d−1)-subcomplex of ∂(d-simplex).
+        let s = simplex(&[0, 1, 2, 3]);
+        let all_faces: Vec<Simplex<u32>> = Complex::boundary_of(&s).facets().cloned().collect();
+        // Every subset of the 4 triangles.
+        for mask in 1u32..16 {
+            let sub: Vec<Simplex<u32>> = all_faces
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| (mask >> i) & 1 == 1)
+                .map(|(_, f)| f.clone())
+                .collect();
+            let c = Complex::from_facets(sub);
+            assert!(every_order_shells(&c).unwrap(), "mask = {mask}");
+        }
+    }
+
+    #[test]
+    fn disconnected_pure_complex_not_shellable() {
+        let c = Complex::from_facets(vec![simplex(&[0, 1]), simplex(&[2, 3])]);
+        assert!(!is_shellable(&c).unwrap());
+    }
+
+    #[test]
+    fn path_of_edges_is_shellable() {
+        let c = Complex::from_facets(vec![
+            simplex(&[0, 1]),
+            simplex(&[1, 2]),
+            simplex(&[2, 3]),
+        ]);
+        assert!(is_shellable(&c).unwrap());
+    }
+
+    #[test]
+    fn specific_order_verification() {
+        let t1 = simplex(&[0, 1, 2]);
+        let t2 = simplex(&[0, 2, 3]);
+        let t3 = simplex(&[3, 4, 5]); // far away
+        assert!(is_shelling_order(&[t1.clone(), t2.clone()]).unwrap());
+        assert!(!is_shelling_order(&[t1.clone(), t3.clone()]).unwrap());
+        assert!(is_shelling_order(std::slice::from_ref(&t1)).unwrap());
+        assert!(is_shelling_order::<u32>(&[]).is_err());
+        assert!(is_shelling_order(&[t1, simplex(&[8, 9])]).is_err());
+    }
+
+    #[test]
+    fn impure_complex_rejected() {
+        let c = Complex::from_facets(vec![simplex(&[0, 1, 2]), simplex(&[5, 6])]);
+        assert_eq!(is_shellable(&c), Err(TopologyError::NotPure));
+    }
+
+    #[test]
+    fn octahedron_boundary_is_shellable() {
+        // Pseudosphere with binary views: the octahedron (2-sphere), a
+        // classic shellable complex with 8 facets.
+        use crate::pseudosphere::Pseudosphere;
+        let ps = Pseudosphere::new((0..3).map(|c| (c, vec![0u32, 1])).collect()).unwrap();
+        let c = ps.to_complex();
+        assert_eq!(c.facet_count(), 8);
+        assert!(is_shellable(&c).unwrap());
+    }
+}

@@ -1,0 +1,173 @@
+//! End-to-end integration: theory (bounds), topology (protocol-complex
+//! connectivity) and runtime (executions) must tell one consistent story.
+
+use kset_agreement::core::verify::verify_protocol_connectivity;
+use kset_agreement::prelude::*;
+use kset_agreement::runtime::checker::{check_exhaustive, check_with_supersets};
+use kset_agreement::runtime::execution::execute_schedule;
+use kset_agreement::runtime::monte_carlo::monte_carlo;
+
+fn zoo() -> Vec<(&'static str, ClosedAboveModel)> {
+    vec![
+        ("stars n=3 s=1", models::named::star_unions(3, 1).unwrap()),
+        ("stars n=4 s=1", models::named::star_unions(4, 1).unwrap()),
+        ("stars n=4 s=2", models::named::star_unions(4, 2).unwrap()),
+        ("stars n=4 s=3", models::named::star_unions(4, 3).unwrap()),
+        ("ring n=3", models::named::symmetric_ring(3).unwrap()),
+        ("ring n=4", models::named::symmetric_ring(4).unwrap()),
+        ("simple ring n=4", models::named::simple_ring(4).unwrap()),
+        ("simple ring n=5", models::named::simple_ring(5).unwrap()),
+        ("fig1 star", models::named::fig1_star_model().unwrap()),
+        ("fig1 second", models::named::fig1_second_model().unwrap()),
+        ("tournament n=3", models::named::tournament(3, 1 << 10).unwrap()),
+    ]
+}
+
+/// The flood-and-min algorithm stays within the min-realizable upper bound
+/// on EVERY generator schedule and input assignment, for 1 and 2 rounds.
+#[test]
+fn algorithm_within_upper_bounds_everywhere() {
+    for (name, model) in zoo() {
+        for rounds in 1..=2 {
+            let report = BoundsReport::compute(&model, rounds).unwrap();
+            let bound = report
+                .uppers
+                .iter()
+                .filter(|u| u.theorem != "Thm 3.2" && u.theorem != "Thm 6.3")
+                .map(|u| u.k)
+                .min()
+                .unwrap();
+            let budget = 50_000_000u128;
+            match check_exhaustive(&MinOfAll::new(), &model, 3, rounds, budget) {
+                Ok(chk) => {
+                    assert!(chk.validity_ok, "{name} r={rounds}");
+                    assert!(
+                        chk.worst_distinct <= bound,
+                        "{name} r={rounds}: {} > {}",
+                        chk.worst_distinct,
+                        bound
+                    );
+                }
+                Err(kset_agreement::runtime::RuntimeError::TooLarge { .. }) => {
+                    // Fall back to Monte-Carlo for the big schedules.
+                    let mc =
+                        monte_carlo(&MinOfAll::new(), &model, 3, rounds, 500, 1).unwrap();
+                    assert!(mc.validity_ok, "{name} r={rounds}");
+                    assert!(mc.worst_distinct <= bound, "{name} r={rounds}");
+                }
+                Err(e) => panic!("{name} r={rounds}: {e}"),
+            }
+        }
+    }
+}
+
+/// Where the report says TIGHT, the adversary actually achieves the
+/// impossible-plus-one level against flood-and-min: the worst execution
+/// hits exactly `best_upper` distinct values.
+#[test]
+fn tight_models_are_empirically_tight() {
+    for (name, model) in zoo() {
+        let report = BoundsReport::compute(&model, 1).unwrap();
+        if !report.is_tight() || model.is_simple() {
+            continue;
+        }
+        let up = report.best_upper().unwrap().k;
+        let n = model.n();
+        if let Ok(chk) = check_exhaustive(&MinOfAll::new(), &model, n, 1, 50_000_000) {
+            assert_eq!(
+                chk.worst_distinct, up,
+                "{name}: tight bound should be achieved"
+            );
+        }
+    }
+}
+
+/// Thm 5.4's engine measured: for every small general model, the one-round
+/// protocol complex's homological connectivity is at least the predicted
+/// `l`.
+#[test]
+fn protocol_connectivity_matches_predictions() {
+    for (name, model) in [
+        ("stars n=3 s=1", models::named::star_unions(3, 1).unwrap()),
+        ("stars n=3 s=2", models::named::star_unions(3, 2).unwrap()),
+        ("ring n=3", models::named::symmetric_ring(3).unwrap()),
+        ("tournament n=3", models::named::tournament(3, 1 << 10).unwrap()),
+    ] {
+        let rep = verify_protocol_connectivity(&model, 1, 500_000).unwrap();
+        assert!(
+            rep.is_consistent(),
+            "{name}: predicted {} > measured {}",
+            rep.predicted_l,
+            rep.measured_connectivity
+        );
+    }
+}
+
+/// The dominating-set algorithm (Thm 3.2) achieves γ(G) on simple models,
+/// including against sampled supersets, and γ(G) is exactly tight
+/// (Thm 5.1): flooding cannot do better than γ_eq but the dominating set
+/// reaches γ.
+#[test]
+fn dominating_set_algorithm_is_tight_on_simple_models() {
+    for g in [
+        kset_agreement::graphs::families::cycle(4).unwrap(),
+        kset_agreement::graphs::families::cycle(5).unwrap(),
+        kset_agreement::graphs::families::fig1_second_graph(),
+    ] {
+        let gamma = kset_agreement::graphs::domination::domination_number(&g);
+        let model = ClosedAboveModel::new(vec![g.clone()]).unwrap();
+        let alg = MinOfDominatingSet::for_graph(&g);
+        let chk =
+            check_with_supersets(&alg, &model, gamma + 1, 1, 10, 0xABCD, 50_000_000)
+                .unwrap();
+        assert!(chk.validity_ok);
+        assert_eq!(chk.worst_distinct, gamma, "graph {g}");
+    }
+}
+
+/// Round monotonicity, end to end: more rounds never worsen the observed
+/// worst case, and the bounds track it.
+#[test]
+fn rounds_help_monotonically() {
+    let model = models::named::symmetric_ring(4).unwrap();
+    let mut prev = usize::MAX;
+    for rounds in 1..=3 {
+        let chk = check_exhaustive(&MinOfAll::new(), &model, 2, rounds, 50_000_000)
+            .unwrap();
+        assert!(chk.worst_distinct <= prev, "r = {rounds}");
+        prev = chk.worst_distinct;
+    }
+    assert_eq!(prev, 1, "three rounds of 4-rings reach consensus");
+}
+
+/// The task checker agrees with the trace statistics.
+#[test]
+fn task_checker_and_traces_agree() {
+    let model = models::named::star_unions(4, 2).unwrap();
+    let task = KSetTask::new(4, 3).unwrap();
+    for schedule in
+        kset_agreement::models::adversary::generator_schedules(&model, 1).take(6)
+    {
+        let trace =
+            execute_schedule(&MinOfAll::new(), &schedule, &[3, 1, 2, 0]).unwrap();
+        assert!(task.check(&trace.inputs, &trace.decisions).is_ok());
+        assert!(trace.distinct_decisions() <= 3);
+    }
+}
+
+/// Sanity across layers: a witness found by the checker replays to the
+/// same decisions through the execution engine, and its distinct count
+/// matches the task's counter.
+#[test]
+fn witnesses_replay_deterministically() {
+    let model = models::named::fig1_second_model().unwrap();
+    let chk = check_exhaustive(&MinOfAll::new(), &model, 4, 1, 50_000_000).unwrap();
+    let w = chk.witness.expect("non-empty exploration");
+    let again = execute_schedule(&MinOfAll::new(), &w.graphs, &w.inputs).unwrap();
+    assert_eq!(again.decisions, w.decisions);
+    let task = KSetTask::new(4, 4).unwrap();
+    assert_eq!(
+        task.distinct_decisions(&w.decisions),
+        w.distinct_decisions()
+    );
+}

@@ -1,0 +1,124 @@
+//! Cross-crate property tests: random closed-above models must keep the
+//! whole stack consistent — bounds ordered, reports sound, executions
+//! within bounds, topology agreeing with theory.
+
+use kset_agreement::prelude::*;
+use kset_agreement::runtime::execution::execute_schedule;
+use proptest::prelude::*;
+
+/// Strategy: a random closed-above model on `n ∈ [3, 5]` processes with
+/// 1–3 random generators.
+fn random_model() -> impl Strategy<Value = ClosedAboveModel> {
+    (3usize..=5, 1usize..=3).prop_flat_map(|(n, gens)| {
+        prop::collection::vec(prop::collection::vec(any::<bool>(), n * n), gens).prop_map(
+            move |graphs| {
+                let gs: Vec<Digraph> = graphs
+                    .into_iter()
+                    .map(|edges| {
+                        let mut g = Digraph::empty(n).expect("valid n");
+                        for u in 0..n {
+                            for v in 0..n {
+                                if u != v && edges[u * n + v] {
+                                    g.add_edge(u, v).expect("in range");
+                                }
+                            }
+                        }
+                        g
+                    })
+                    .collect();
+                ClosedAboveModel::new(gs).expect("non-empty same-n generators")
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn reports_are_consistent(model in random_model(), r in 1usize..=2) {
+        let report = BoundsReport::compute(&model, r).expect("computable");
+        prop_assert!(report.is_consistent(), "{report}");
+        // Upper bounds never exceed n (γ_eq ≤ n).
+        prop_assert!(report.best_upper().unwrap().k <= model.n());
+    }
+
+    #[test]
+    fn upper_bounds_weakly_improve_with_rounds(model in random_model()) {
+        let k1 = kset_agreement::core::bounds::upper::best_upper_bound(&model, 1)
+            .expect("computable").k;
+        let k2 = kset_agreement::core::bounds::upper::best_upper_bound(&model, 2)
+            .expect("computable").k;
+        prop_assert!(k2 <= k1, "k1 = {k1}, k2 = {k2}");
+    }
+
+    #[test]
+    fn lower_bounds_stay_below_uppers_at_every_round(model in random_model()) {
+        // Note: the Thm 6.11 *formula* is not monotone in r on arbitrary
+        // models (densifying products can eliminate large non-dominating
+        // audiences, shrinking max-cov and raising M_t), so we do not
+        // assert decay. What must always hold is consistency against the
+        // upper bounds at the same round count.
+        for r in 1..=2 {
+            let lower = kset_agreement::core::bounds::lower::best_lower_bound(&model, r)
+                .expect("computable")
+                .map(|b| b.impossible_k)
+                .unwrap_or(0);
+            let upper = kset_agreement::core::bounds::upper::best_upper_bound(&model, r)
+                .expect("computable")
+                .k;
+            prop_assert!(lower < upper, "r = {r}: {lower} ≥ {upper}");
+        }
+    }
+
+    #[test]
+    fn executions_respect_gamma_eq(
+        model in random_model(),
+        inputs_seed in 0u32..1000,
+    ) {
+        let n = model.n();
+        let geq = kset_agreement::graphs::equal_domination::equal_domination_number_of_set(
+            model.generators()).expect("non-empty");
+        // A deterministic pseudo-random input assignment.
+        let inputs: Vec<Value> =
+            (0..n).map(|p| ((inputs_seed as usize + p * 7) % n) as Value).collect();
+        for schedule in
+            kset_agreement::models::adversary::generator_schedules(&model, 1).take(8)
+        {
+            let trace = execute_schedule(&MinOfAll::new(), &schedule, &inputs)
+                .expect("runs");
+            prop_assert!(trace.distinct_decisions() <= geq);
+            // Validity always.
+            for d in &trace.decisions {
+                prop_assert!(trace.inputs.contains(d));
+            }
+        }
+    }
+
+    #[test]
+    fn min_decisions_are_monotone_in_view(model in random_model()) {
+        // Flooding more (adding a round of clique) can only reduce the
+        // decision values and their count.
+        let n = model.n();
+        let inputs: Vec<Value> = (0..n as Value).rev().collect();
+        let gens = model.generators();
+        let schedule1 = vec![gens[0].clone()];
+        let schedule2 = vec![gens[0].clone(), Digraph::complete(n).expect("valid")];
+        let t1 = execute_schedule(&MinOfAll::new(), &schedule1, &inputs).expect("runs");
+        let t2 = execute_schedule(&MinOfAll::new(), &schedule2, &inputs).expect("runs");
+        for p in 0..n {
+            prop_assert!(t2.decisions[p] <= t1.decisions[p]);
+        }
+        prop_assert!(t2.distinct_decisions() <= t1.distinct_decisions());
+    }
+
+    #[test]
+    fn sampled_graphs_are_members(model in random_model(), seed in 0u64..100) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..5 {
+            let g = model.sample(&mut rng);
+            prop_assert!(model.contains(&g).expect("same n"));
+        }
+    }
+}
