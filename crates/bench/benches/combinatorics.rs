@@ -58,8 +58,8 @@ fn bench_covering(c: &mut Criterion) {
 fn bench_dist_domination(c: &mut Criterion) {
     let mut group = c.benchmark_group("distributed_domination");
     for n in [4usize, 5, 6] {
-        let sym = symmetric_closure(&[families::broadcast_star(n, 0).expect("valid")])
-            .expect("closure");
+        let sym =
+            symmetric_closure(&[families::broadcast_star(n, 0).expect("valid")]).expect("closure");
         group.bench_with_input(
             BenchmarkId::new("star_closure", n),
             &sym,
@@ -72,8 +72,7 @@ fn bench_dist_domination(c: &mut Criterion) {
 fn bench_max_covering(c: &mut Criterion) {
     let mut group = c.benchmark_group("max_covering");
     for n in [4usize, 5, 6] {
-        let sym =
-            symmetric_closure(&[families::cycle(n).expect("valid")]).expect("closure");
+        let sym = symmetric_closure(&[families::cycle(n).expect("valid")]).expect("closure");
         let gd = distributed_domination_number(&sym).expect("non-empty");
         group.bench_with_input(
             BenchmarkId::new("cycle_closure_t1", n),

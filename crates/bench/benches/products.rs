@@ -3,10 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ksa_core::bounds::report::BoundsReport;
+use ksa_graphs::families;
 use ksa_graphs::product::{power, set_power};
 use ksa_graphs::random::random_digraph;
 use ksa_graphs::sequences::covering_sequence;
-use ksa_graphs::families;
 use ksa_models::named;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -31,7 +31,10 @@ fn bench_set_power(c: &mut Criterion) {
     let mut group = c.benchmark_group("set_power");
     group.sample_size(20);
     for n in [4usize, 5] {
-        let gens = named::symmetric_ring(n).expect("valid").generators().to_vec();
+        let gens = named::symmetric_ring(n)
+            .expect("valid")
+            .generators()
+            .to_vec();
         group.bench_with_input(BenchmarkId::new("sym_ring_r2", n), &gens, |b, g| {
             b.iter(|| set_power(black_box(g), 2).map(|v| v.len()))
         });
@@ -54,10 +57,22 @@ fn bench_full_report(c: &mut Criterion) {
     let mut group = c.benchmark_group("bounds_report");
     group.sample_size(10);
     for (name, model, r) in [
-        ("stars_n5_s2_r1", named::star_unions(5, 2).expect("valid"), 1usize),
-        ("stars_n5_s2_r2", named::star_unions(5, 2).expect("valid"), 2),
+        (
+            "stars_n5_s2_r1",
+            named::star_unions(5, 2).expect("valid"),
+            1usize,
+        ),
+        (
+            "stars_n5_s2_r2",
+            named::star_unions(5, 2).expect("valid"),
+            2,
+        ),
         ("ring_n4_r2", named::symmetric_ring(4).expect("valid"), 2),
-        ("kernel_n5_r1", named::non_empty_kernel(5).expect("valid"), 1),
+        (
+            "kernel_n5_r1",
+            named::non_empty_kernel(5).expect("valid"),
+            1,
+        ),
     ] {
         group.bench_function(name, |b| {
             b.iter(|| BoundsReport::compute(black_box(&model), r))

@@ -29,14 +29,20 @@ fn bench_checker(c: &mut Criterion) {
     let mut group = c.benchmark_group("exhaustive_checker");
     group.sample_size(10);
     for (name, model, values) in [
-        ("kernel_n4_v3", named::non_empty_kernel(4).expect("valid"), 3usize),
-        ("stars_n4_s2_v3", named::star_unions(4, 2).expect("valid"), 3),
+        (
+            "kernel_n4_v3",
+            named::non_empty_kernel(4).expect("valid"),
+            3usize,
+        ),
+        (
+            "stars_n4_s2_v3",
+            named::star_unions(4, 2).expect("valid"),
+            3,
+        ),
         ("ring_n4_v2", named::symmetric_ring(4).expect("valid"), 2),
     ] {
         group.bench_function(name, |b| {
-            b.iter(|| {
-                check_exhaustive(&MinOfAll::new(), black_box(&model), values, 1, 1 << 40)
-            })
+            b.iter(|| check_exhaustive(&MinOfAll::new(), black_box(&model), values, 1, 1 << 40))
         });
     }
     group.finish();
@@ -47,11 +53,9 @@ fn bench_monte_carlo(c: &mut Criterion) {
     group.sample_size(10);
     for n in [4usize, 5, 6] {
         let model = named::non_empty_kernel(n).expect("valid");
-        group.bench_with_input(
-            BenchmarkId::new("kernel_1000_runs", n),
-            &model,
-            |b, m| b.iter(|| monte_carlo(&MinOfAll::new(), black_box(m), n, 2, 1000, 7)),
-        );
+        group.bench_with_input(BenchmarkId::new("kernel_1000_runs", n), &model, |b, m| {
+            b.iter(|| monte_carlo(&MinOfAll::new(), black_box(m), n, 2, 1000, 7))
+        });
     }
     group.finish();
 }

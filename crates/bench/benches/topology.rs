@@ -32,11 +32,9 @@ fn bench_homology(c: &mut Criterion) {
         let complex = Pseudosphere::new((0..n).map(|p| (p, vec![0u32, 1])).collect())
             .expect("distinct colors")
             .to_complex();
-        group.bench_with_input(
-            BenchmarkId::new("cross_polytope", n),
-            &complex,
-            |b, cx| b.iter(|| reduced_betti_numbers(black_box(cx))),
-        );
+        group.bench_with_input(BenchmarkId::new("cross_polytope", n), &complex, |b, cx| {
+            b.iter(|| reduced_betti_numbers(black_box(cx)))
+        });
     }
     // A closed-above uninterpreted complex (union of pseudospheres).
     let un = closed_above_pseudosphere(&families::cycle(4).expect("valid")).to_complex();
@@ -50,7 +48,11 @@ fn bench_protocol_complex(c: &mut Criterion) {
     let mut group = c.benchmark_group("protocol_complex");
     group.sample_size(10);
     for (name, model, vmax) in [
-        ("stars_n3_v2", named::star_unions(3, 1).expect("valid"), 1usize),
+        (
+            "stars_n3_v2",
+            named::star_unions(3, 1).expect("valid"),
+            1usize,
+        ),
         ("ring_n3_v2", named::symmetric_ring(3).expect("valid"), 1),
         ("stars_n3_v3", named::star_unions(3, 1).expect("valid"), 2),
     ] {
@@ -80,11 +82,9 @@ fn bench_shelling(c: &mut Criterion) {
         let complex = Pseudosphere::new((0..n).map(|p| (p, vec![0u32, 1])).collect())
             .expect("distinct colors")
             .to_complex();
-        group.bench_with_input(
-            BenchmarkId::new("cross_polytope", n),
-            &complex,
-            |b, cx| b.iter(|| find_shelling_order(black_box(cx))),
-        );
+        group.bench_with_input(BenchmarkId::new("cross_polytope", n), &complex, |b, cx| {
+            b.iter(|| find_shelling_order(black_box(cx)))
+        });
     }
     group.finish();
 }

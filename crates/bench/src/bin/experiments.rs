@@ -5,13 +5,14 @@
 //!
 //! ```text
 //! experiments all            # run everything
+//! experiments --smoke        # run the fast subset (CI smoke job)
 //! experiments fig1 stars …   # run selected experiments
 //! experiments --list         # list experiment ids
 //! ```
 //!
 //! Exit code 0 iff every executed experiment's shape assertions held.
 
-use ksa_bench::{run_experiment, ALL_EXPERIMENTS};
+use ksa_bench::{run_experiment, ALL_EXPERIMENTS, SMOKE_EXPERIMENTS};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -22,7 +23,9 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+    let ids: Vec<&str> = if args.iter().any(|a| a == "--smoke") {
+        SMOKE_EXPERIMENTS.to_vec()
+    } else if args.is_empty() || args.iter().any(|a| a == "all") {
         ALL_EXPERIMENTS.to_vec()
     } else {
         args.iter().map(|s| s.as_str()).collect()

@@ -46,7 +46,9 @@ pub fn fig1() -> R {
     for i in 1..4usize {
         let cov = covering_number_of_set(&star_sym, i)?;
         let bound = i + (4 - cov);
-        out.line(format!("  i = {i}: cov_i = {cov}, covering bound = {bound}-set"));
+        out.line(format!(
+            "  i = {i}: cov_i = {cov}, covering bound = {bound}-set"
+        ));
         out.check(
             &format!("covering bound at i = {i} does not beat γ_eq"),
             bound >= geq,
@@ -176,13 +178,32 @@ pub fn thm412() -> R {
     out.line("Thm 4.12 — uninterpreted complexes of closed-above models are (n−2)-connected");
     let zoo: Vec<(&str, usize, Vec<Digraph>)> = vec![
         ("↑C3", 3, vec![families::cycle(3)?]),
-        ("stars n=3 s=1", 3, named::star_unions(3, 1)?.generators().to_vec()),
-        ("ring n=3", 3, named::symmetric_ring(3)?.generators().to_vec()),
-        ("stars n=4 s=2", 4, named::star_unions(4, 2)?.generators().to_vec()),
+        (
+            "stars n=3 s=1",
+            3,
+            named::star_unions(3, 1)?.generators().to_vec(),
+        ),
+        (
+            "ring n=3",
+            3,
+            named::symmetric_ring(3)?.generators().to_vec(),
+        ),
+        (
+            "stars n=4 s=2",
+            4,
+            named::star_unions(4, 2)?.generators().to_vec(),
+        ),
         ("fig1(b) single", 4, vec![families::fig1_second_graph()]),
-        ("ring n=4", 4, named::symmetric_ring(4)?.generators().to_vec()),
+        (
+            "ring n=4",
+            4,
+            named::symmetric_ring(4)?.generators().to_vec(),
+        ),
     ];
-    out.line(format!("{:<16} {:>6} {:>10} {:>9}", "model", "n", "facets", "conn"));
+    out.line(format!(
+        "{:<16} {:>6} {:>10} {:>9}",
+        "model", "n", "facets", "conn"
+    ));
     for (name, n, gens) in zoo {
         let c = closed_above_uninterpreted_complex(&gens, 2_000_000)?;
         let conn = homological_connectivity(&c);
@@ -330,7 +351,10 @@ pub fn seqs() -> R {
                 None => "∞".into(),
             });
         }
-        out.line(format!("{name:<16} rounds(i=1..n) = [{}]", cells.join(", ")));
+        out.line(format!(
+            "{name:<16} rounds(i=1..n) = [{}]",
+            cells.join(", ")
+        ));
         // Monotone: larger i never needs more rounds.
         let rounds: Vec<Option<usize>> = (1..=n)
             .map(|i| covering_sequence(&g, i).expect("valid i").reaches_n_at)
@@ -353,7 +377,10 @@ pub fn seqs() -> R {
     );
     // The star's sequences stall (paper's γ_eq = n discussion).
     let star_seq = covering_sequence(&families::fig1_star(), 1)?;
-    out.check("star sequence stalls below n", star_seq.reaches_n_at.is_none());
+    out.check(
+        "star sequence stalls below n",
+        star_seq.reaches_n_at.is_none(),
+    );
     Ok(out)
 }
 
@@ -385,10 +412,7 @@ pub fn multiround() -> R {
             out.check(&format!("{name} r={r}: consistent"), rep.is_consistent());
             out.check(&format!("{name} r={r}: upper monotone"), up <= prev_up);
             let lo_v = lo.unwrap_or(0);
-            out.check(
-                &format!("{name} r={r}: lower monotone"),
-                lo_v <= prev_lo,
-            );
+            out.check(&format!("{name} r={r}: lower monotone"), lo_v <= prev_lo);
             prev_up = up;
             prev_lo = lo_v;
         }
@@ -429,7 +453,10 @@ pub fn sim() -> R {
             mc.worst_distinct,
             mc.mean_distinct()
         ));
-        out.check(&format!("{name}: validity"), exh.validity_ok && mc.validity_ok);
+        out.check(
+            &format!("{name}: validity"),
+            exh.validity_ok && mc.validity_ok,
+        );
         out.check(
             &format!("{name}: exhaustive worst ≤ bound"),
             exh.worst_distinct <= bound,
@@ -456,7 +483,10 @@ pub fn sim() -> R {
         chk.worst_distinct,
         domination_number(&simple.generators()[0])
     ));
-    out.check("dominating-set algorithm achieves γ exactly", chk.worst_distinct == 2);
+    out.check(
+        "dominating-set algorithm achieves γ exactly",
+        chk.worst_distinct == 2,
+    );
     Ok(out)
 }
 
@@ -588,7 +618,9 @@ pub fn extuniv() -> R {
             p += 1;
         }
     }
-    out.line(format!("worst distinct decisions over the whole model: {worst}"));
+    out.line(format!(
+        "worst distinct decisions over the whole model: {worst}"
+    ));
     out.check("validity over the whole model", valid);
     out.check("2-set agreement solved on the whole model", worst <= 2);
     let l = theorem_5_4_l(model.generators())?;
@@ -645,14 +677,62 @@ pub fn solv() -> R {
         "model", "k", "verdict", "paper prediction"
     ));
     let cases: Vec<(&str, ksa_models::ClosedAboveModel, usize, bool, &str)> = vec![
-        ("stars n=3 s=1", named::star_unions(3, 1)?, 2, false, "Thm 5.4: impossible"),
-        ("stars n=3 s=1", named::star_unions(3, 1)?, 3, true, "Thm 3.4: solvable"),
-        ("stars n=3 s=2", named::star_unions(3, 2)?, 1, false, "Thm 6.13: impossible"),
-        ("stars n=3 s=2", named::star_unions(3, 2)?, 2, true, "Thm 3.4: solvable"),
-        ("ring n=3 (sym)", named::symmetric_ring(3)?, 1, false, "Thm 5.4: impossible"),
-        ("ring n=3 (sym)", named::symmetric_ring(3)?, 2, true, "Thm 3.4: solvable"),
-        ("simple ring ↑C3", named::simple_ring(3)?, 1, false, "Thm 5.1: impossible"),
-        ("simple ring ↑C3", named::simple_ring(3)?, 2, true, "Thm 3.2: solvable"),
+        (
+            "stars n=3 s=1",
+            named::star_unions(3, 1)?,
+            2,
+            false,
+            "Thm 5.4: impossible",
+        ),
+        (
+            "stars n=3 s=1",
+            named::star_unions(3, 1)?,
+            3,
+            true,
+            "Thm 3.4: solvable",
+        ),
+        (
+            "stars n=3 s=2",
+            named::star_unions(3, 2)?,
+            1,
+            false,
+            "Thm 6.13: impossible",
+        ),
+        (
+            "stars n=3 s=2",
+            named::star_unions(3, 2)?,
+            2,
+            true,
+            "Thm 3.4: solvable",
+        ),
+        (
+            "ring n=3 (sym)",
+            named::symmetric_ring(3)?,
+            1,
+            false,
+            "Thm 5.4: impossible",
+        ),
+        (
+            "ring n=3 (sym)",
+            named::symmetric_ring(3)?,
+            2,
+            true,
+            "Thm 3.4: solvable",
+        ),
+        (
+            "simple ring ↑C3",
+            named::simple_ring(3)?,
+            1,
+            false,
+            "Thm 5.1: impossible",
+        ),
+        (
+            "simple ring ↑C3",
+            named::simple_ring(3)?,
+            2,
+            true,
+            "Thm 3.2: solvable",
+        ),
     ];
     for (name, model, k, expect_solvable, prediction) in cases {
         let verdict = decide_one_round(&model, k, k, 2_000_000, 50_000_000)?;
@@ -725,6 +805,9 @@ pub fn approx() -> R {
     // Split rounds stall.
     let mut lonely = FixedSequence::new(vec![Digraph::empty(4)?]);
     let stalled = run_approximate_consensus(&mut lonely, &inputs, eps, 20)?;
-    out.check("split schedule never converges", stalled.converged_at.is_none());
+    out.check(
+        "split schedule never converges",
+        stalled.converged_at.is_none(),
+    );
     Ok(out)
 }

@@ -40,8 +40,45 @@ impl ExperimentOutcome {
 
 /// All experiment ids, in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "fig1", "fig2", "fig3", "fig4", "lemma46", "thm412", "thm54", "sec61", "stars", "seqs",
-    "multiround", "sim", "def52", "cor55", "extuniv", "solv", "approx",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "lemma46",
+    "thm412",
+    "thm54",
+    "sec61",
+    "stars",
+    "seqs",
+    "multiround",
+    "sim",
+    "def52",
+    "cor55",
+    "extuniv",
+    "solv",
+    "approx",
+];
+
+/// The fast subset run by `experiments --smoke` (the CI bench-smoke
+/// job): every experiment except the exhaustive `solv` decision
+/// procedure, whose full sweep dominates the runtime of `all`.
+pub const SMOKE_EXPERIMENTS: &[&str] = &[
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "lemma46",
+    "thm412",
+    "thm54",
+    "sec61",
+    "stars",
+    "seqs",
+    "multiround",
+    "sim",
+    "def52",
+    "cor55",
+    "extuniv",
+    "approx",
 ];
 
 /// Runs one experiment by id.
@@ -88,5 +125,19 @@ mod tests {
     #[test]
     fn unknown_id_rejected() {
         assert!(run_experiment("nope").is_err());
+    }
+
+    #[test]
+    fn smoke_set_is_all_minus_exclusions() {
+        // The smoke list must track ALL_EXPERIMENTS: only the named
+        // slow exclusions may be missing, so new experiments cannot
+        // silently drop out of the CI smoke job.
+        const SLOW_EXCLUSIONS: &[&str] = &["solv"];
+        let expected: Vec<&str> = ALL_EXPERIMENTS
+            .iter()
+            .copied()
+            .filter(|id| !SLOW_EXCLUSIONS.contains(id))
+            .collect();
+        assert_eq!(SMOKE_EXPERIMENTS, expected.as_slice());
     }
 }

@@ -2,8 +2,7 @@
 
 use crate::bounds::lower::{general_multi_round_lower, simple_multi_round_lower};
 use crate::bounds::upper::{
-    covering_upper_bounds, gamma_eq_upper_bound, gamma_upper_bound,
-    sequence_upper_bound,
+    covering_upper_bounds, gamma_eq_upper_bound, gamma_upper_bound, sequence_upper_bound,
 };
 use crate::bounds::{LowerBound, UpperBound};
 use crate::error::CoreError;

@@ -28,7 +28,100 @@ use crate::task::Value;
 use ksa_models::ClosedAboveModel;
 use ksa_models::ObliviousModel;
 use ksa_topology::interpretation::FlatView;
+#[cfg(feature = "parallel")]
+use rayon::prelude::*;
 use std::collections::HashMap;
+
+/// How many input assignments each parallel batch spans. Batches are
+/// enumerated in odometer order and merged in order, so the view/exec
+/// numbering is identical to the sequential scan.
+#[cfg(feature = "parallel")]
+const INPUT_BATCH: usize = 512;
+
+/// Iterator over all input assignments of `n` processes over
+/// `{0, …, values − 1}`, in odometer order (process 0 fastest).
+fn input_assignments(n: usize, values: Value) -> impl Iterator<Item = Vec<Value>> {
+    let mut next: Option<Vec<Value>> = Some(vec![0 as Value; n]);
+    std::iter::from_fn(move || {
+        let current = next.take()?;
+        let mut succ = current.clone();
+        let mut p = 0;
+        loop {
+            if p == n {
+                break;
+            }
+            succ[p] += 1;
+            if succ[p] < values {
+                next = Some(succ);
+                break;
+            }
+            succ[p] = 0;
+            p += 1;
+        }
+        Some(current)
+    })
+}
+
+/// The views and executions reachable from one input assignment —
+/// views are locally numbered; [`EnumerationMerger`] renumbers them
+/// globally.
+struct LocalEnumeration {
+    views: Vec<FlatView<Value>>,
+    /// Executions as sorted, deduplicated local view-id sets.
+    executions: Vec<Vec<u32>>,
+}
+
+/// Accumulates [`LocalEnumeration`]s (in input order) into the global
+/// view table and execution set, enforcing `exec_limit`.
+struct EnumerationMerger {
+    view_ids: HashMap<FlatView<Value>, u32>,
+    views: Vec<FlatView<Value>>,
+    executions: Vec<Vec<u32>>,
+    seen_exec: std::collections::HashSet<Vec<u32>>,
+    exec_limit: usize,
+}
+
+impl EnumerationMerger {
+    fn new(exec_limit: usize) -> Self {
+        EnumerationMerger {
+            view_ids: HashMap::new(),
+            views: Vec::new(),
+            executions: Vec::new(),
+            seen_exec: std::collections::HashSet::new(),
+            exec_limit,
+        }
+    }
+
+    fn absorb(&mut self, local: LocalEnumeration) -> Result<(), CoreError> {
+        let remap: Vec<u32> = local
+            .views
+            .into_iter()
+            .map(|view| {
+                let next_id = self.views.len() as u32;
+                *self.view_ids.entry(view.clone()).or_insert_with(|| {
+                    self.views.push(view);
+                    next_id
+                })
+            })
+            .collect();
+        for exec in local.executions {
+            let mut mapped: Vec<u32> = exec.into_iter().map(|v| remap[v as usize]).collect();
+            mapped.sort_unstable();
+            mapped.dedup();
+            if self.seen_exec.insert(mapped.clone()) {
+                self.executions.push(mapped);
+                if self.executions.len() > self.exec_limit {
+                    return Err(CoreError::Topology(ksa_topology::TopologyError::TooLarge {
+                        what: "solvability executions",
+                        estimated: self.executions.len() as u128,
+                        limit: self.exec_limit as u128,
+                    }));
+                }
+            }
+        }
+        Ok(())
+    }
+}
 
 /// Verdict of the decision procedure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,13 +213,17 @@ pub fn decide_one_round(
     let values = value_max as Value + 1;
 
     // --- Enumerate reachable views and executions --------------------------
-    let mut view_ids: HashMap<FlatView<Value>, u32> = HashMap::new();
-    let mut views: Vec<FlatView<Value>> = Vec::new();
-    let mut executions: Vec<Vec<u32>> = Vec::new();
-    let mut seen_exec: std::collections::HashSet<Vec<u32>> = std::collections::HashSet::new();
-
-    let mut inputs = vec![0 as Value; n];
-    'inputs: loop {
+    // The executions of one input assignment are independent of every
+    // other assignment's, so assignments are the parallel work unit;
+    // local enumerations merge in odometer order, making the view and
+    // execution numbering identical to the sequential scan.
+    let enumerate_input = |inputs: &[Value]| -> LocalEnumeration {
+        let mut local_ids: HashMap<FlatView<Value>, u32> = HashMap::new();
+        let mut local_seen: std::collections::HashSet<Vec<u32>> = std::collections::HashSet::new();
+        let mut local = LocalEnumeration {
+            views: Vec::new(),
+            executions: Vec::new(),
+        };
         for g in model.generators() {
             // Per-process free bits (processes not already heard).
             let bases: Vec<ksa_graphs::ProcSet> = (0..n).map(|p| g.in_set(p)).collect();
@@ -145,28 +242,18 @@ pub fn decide_one_round(
                             senders.insert(q);
                         }
                     }
-                    let view: FlatView<Value> =
-                        senders.iter().map(|q| (q, inputs[q])).collect();
-                    let next_id = views.len() as u32;
-                    let id = *view_ids.entry(view.clone()).or_insert_with(|| {
-                        views.push(view);
+                    let view: FlatView<Value> = senders.iter().map(|q| (q, inputs[q])).collect();
+                    let next_id = local.views.len() as u32;
+                    let id = *local_ids.entry(view.clone()).or_insert_with(|| {
+                        local.views.push(view);
                         next_id
                     });
                     exec.push(id);
                 }
                 exec.sort_unstable();
                 exec.dedup();
-                if seen_exec.insert(exec.clone()) {
-                    executions.push(exec);
-                    if executions.len() > exec_limit {
-                        return Err(CoreError::Topology(
-                            ksa_topology::TopologyError::TooLarge {
-                                what: "solvability executions",
-                                estimated: executions.len() as u128,
-                                limit: exec_limit as u128,
-                            },
-                        ));
-                    }
+                if local_seen.insert(exec.clone()) {
+                    local.executions.push(exec);
                 }
                 // Advance the odometer.
                 let mut p = 0;
@@ -186,22 +273,31 @@ pub fn decide_one_round(
                 }
             }
         }
-        // Advance the input odometer.
-        let mut p = 0;
-        loop {
-            if p == n {
-                break 'inputs;
-            }
-            inputs[p] += 1;
-            if inputs[p] < values {
-                break;
-            }
-            inputs[p] = 0;
-            p += 1;
+        local
+    };
+
+    let mut merger = EnumerationMerger::new(exec_limit);
+    let mut assignments = input_assignments(n, values);
+    #[cfg(feature = "parallel")]
+    loop {
+        let batch: Vec<Vec<Value>> = assignments.by_ref().take(INPUT_BATCH).collect();
+        if batch.is_empty() {
+            break;
+        }
+        let locals: Vec<LocalEnumeration> = batch
+            .par_iter()
+            .map(|inputs| enumerate_input(inputs))
+            .collect();
+        for local in locals {
+            merger.absorb(local)?;
         }
     }
+    #[cfg(not(feature = "parallel"))]
+    for inputs in assignments.by_ref() {
+        merger.absorb(enumerate_input(&inputs))?;
+    }
 
-    solve_csp(views, executions, k, node_budget)
+    solve_csp(merger.views, merger.executions, k, node_budget)
 }
 
 #[cfg(test)]
@@ -252,8 +348,7 @@ mod tests {
     fn witness_is_a_working_algorithm() {
         use ksa_graphs::closure::enumerate_closure;
         let m = named::star_unions(3, 2).unwrap();
-        let Solvability::Solvable(map) = decide_one_round(&m, 2, 2, EXECS, NODES).unwrap()
-        else {
+        let Solvability::Solvable(map) = decide_one_round(&m, 2, 2, EXECS, NODES).unwrap() else {
             panic!("solvable");
         };
         assert!(!map.is_empty());
@@ -272,11 +367,8 @@ mod tests {
                     for g in &graphs {
                         let mut decs: Vec<Value> = Vec::new();
                         for p in 0..3 {
-                            let view: Vec<(usize, Value)> = g
-                                .in_set(p)
-                                .iter()
-                                .map(|q| (q, inputs[q]))
-                                .collect();
+                            let view: Vec<(usize, Value)> =
+                                g.in_set(p).iter().map(|q| (q, inputs[q])).collect();
                             let d = map.decide(&view).expect("reachable view");
                             assert!(inputs.contains(&d), "validity");
                             decs.push(d);
@@ -292,10 +384,8 @@ mod tests {
 
     #[test]
     fn clique_solves_consensus() {
-        let m = ksa_models::ClosedAboveModel::new(vec![
-            ksa_graphs::Digraph::complete(3).unwrap(),
-        ])
-        .unwrap();
+        let m = ksa_models::ClosedAboveModel::new(vec![ksa_graphs::Digraph::complete(3).unwrap()])
+            .unwrap();
         assert!(decide_one_round(&m, 1, 1, EXECS, NODES)
             .unwrap()
             .is_solvable());
@@ -397,45 +487,57 @@ pub fn decide_rounds_explicit(
         }
     }
 
-    // Views and executions over the deduplicated products.
-    let mut view_ids: HashMap<FlatView<Value>, u32> = HashMap::new();
-    let mut views: Vec<FlatView<Value>> = Vec::new();
-    let mut executions: Vec<Vec<u32>> = Vec::new();
-    let mut seen_exec = std::collections::HashSet::new();
-    let mut inputs = vec![0 as Value; n];
-    'inputs: loop {
+    // Views and executions over the deduplicated products; input
+    // assignments are the parallel work unit, merged in odometer order
+    // (identical numbering to the sequential scan).
+    let enumerate_input = |inputs: &[Value]| -> LocalEnumeration {
+        let mut local_ids: HashMap<FlatView<Value>, u32> = HashMap::new();
+        let mut local = LocalEnumeration {
+            views: Vec::new(),
+            executions: Vec::new(),
+        };
         for g in &products {
             let mut exec: Vec<u32> = Vec::with_capacity(n);
             for p in 0..n {
-                let view: FlatView<Value> =
-                    g.in_set(p).iter().map(|q| (q, inputs[q])).collect();
-                let next_id = views.len() as u32;
-                let id = *view_ids.entry(view.clone()).or_insert_with(|| {
-                    views.push(view);
+                let view: FlatView<Value> = g.in_set(p).iter().map(|q| (q, inputs[q])).collect();
+                let next_id = local.views.len() as u32;
+                let id = *local_ids.entry(view.clone()).or_insert_with(|| {
+                    local.views.push(view);
                     next_id
                 });
                 exec.push(id);
             }
             exec.sort_unstable();
             exec.dedup();
-            if seen_exec.insert(exec.clone()) {
-                executions.push(exec);
-            }
+            local.executions.push(exec);
         }
-        let mut p = 0;
-        loop {
-            if p == n {
-                break 'inputs;
-            }
-            inputs[p] += 1;
-            if inputs[p] < values {
-                break;
-            }
-            inputs[p] = 0;
-            p += 1;
+        local
+    };
+
+    // The enumeration is within `exec_limit` (checked above), so the
+    // merger's limit only needs to catch the distinct-execution
+    // overflow, like the sequential scan (which never errored here).
+    let mut merger = EnumerationMerger::new(exec_limit);
+    let mut assignments = input_assignments(n, values);
+    #[cfg(feature = "parallel")]
+    loop {
+        let batch: Vec<Vec<Value>> = assignments.by_ref().take(INPUT_BATCH).collect();
+        if batch.is_empty() {
+            break;
+        }
+        let locals: Vec<LocalEnumeration> = batch
+            .par_iter()
+            .map(|inputs| enumerate_input(inputs))
+            .collect();
+        for local in locals {
+            merger.absorb(local)?;
         }
     }
-    solve_csp(views, executions, k, node_budget)
+    #[cfg(not(feature = "parallel"))]
+    for inputs in assignments.by_ref() {
+        merger.absorb(enumerate_input(&inputs))?;
+    }
+    solve_csp(merger.views, merger.executions, k, node_budget)
 }
 
 /// Shared CSP core for the one-round and multi-round deciders.
@@ -461,7 +563,12 @@ fn solve_csp(
         }
     }
     let mut order: Vec<usize> = (0..views.len()).collect();
-    order.sort_by_key(|&v| (candidates[v].len(), std::cmp::Reverse(exec_of_view[v].len())));
+    order.sort_by_key(|&v| {
+        (
+            candidates[v].len(),
+            std::cmp::Reverse(exec_of_view[v].len()),
+        )
+    });
 
     fn exec_ok(
         e: &[u32],

@@ -86,7 +86,10 @@ impl KSetTask {
         assert_eq!(decisions.len(), self.n);
         for (p, &d) in decisions.iter().enumerate() {
             if !inputs.contains(&d) {
-                return Err(Violation::Validity { proc: p, decided: d });
+                return Err(Violation::Validity {
+                    proc: p,
+                    decided: d,
+                });
             }
         }
         let mut distinct: Vec<Value> = decisions.to_vec();
@@ -158,7 +161,10 @@ mod tests {
         let t = KSetTask::new(2, 2).unwrap();
         assert_eq!(
             t.check(&[1, 2], &[1, 3]),
-            Err(Violation::Validity { proc: 1, decided: 3 })
+            Err(Violation::Validity {
+                proc: 1,
+                decided: 3
+            })
         );
     }
 

@@ -107,8 +107,7 @@ mod tests {
         // over any input is one simplex per input facet glued along shared
         // views — connectivity at least 0 trivially, and the predicted l
         // is min(γ_dist−2, …) = −1 or less, consistent.
-        let m = ClosedAboveModel::new(vec![ksa_graphs::Digraph::complete(3).unwrap()])
-            .unwrap();
+        let m = ClosedAboveModel::new(vec![ksa_graphs::Digraph::complete(3).unwrap()]).unwrap();
         let rep = verify_protocol_connectivity(&m, 1, 200_000).unwrap();
         assert!(rep.is_consistent(), "{rep:?}");
     }

@@ -196,9 +196,7 @@ mod tests {
         let mut big = small.clone();
         big.add_edge(4, 0).unwrap();
         for i in 1..=5 {
-            assert!(
-                covering_number(&big, i).unwrap() >= covering_number(&small, i).unwrap()
-            );
+            assert!(covering_number(&big, i).unwrap() >= covering_number(&small, i).unwrap());
         }
     }
 
@@ -206,7 +204,7 @@ mod tests {
     fn profile_via_out_union() {
         // Spot-check cov_2 of the matching by hand.
         let g = families::forward_matching(4).unwrap(); // 0→1, 2→3
-        // P = {1, 3}: both silent, audience = themselves.
+                                                        // P = {1, 3}: both silent, audience = themselves.
         assert_eq!(g.out_union(ProcSet::from_iter([1usize, 3])).len(), 2);
         assert_eq!(covering_number(&g, 2).unwrap(), 2);
     }

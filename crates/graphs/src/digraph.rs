@@ -419,11 +419,8 @@ mod tests {
 
     #[test]
     fn from_out_rows_adds_loops() {
-        let g = Digraph::from_out_rows(vec![
-            ProcSet::from_iter([1usize]),
-            ProcSet::empty(),
-        ])
-        .unwrap();
+        let g =
+            Digraph::from_out_rows(vec![ProcSet::from_iter([1usize]), ProcSet::empty()]).unwrap();
         assert!(g.has_edge(0, 0));
         assert!(g.has_edge(1, 1));
         assert!(g.has_edge(0, 1));

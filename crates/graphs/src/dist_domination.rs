@@ -55,14 +55,19 @@ pub fn all_jointly_dominating(graphs: &[Digraph], i: usize) -> Result<bool, Grap
     // Unions over larger collections only grow, so "all collections of size
     // ≤ min(i, |S|) dominate" ⟺ "every single graph is dominated".
     let full = ProcSet::full(n);
-    for p in full.k_subsets(i) {
-        for g in graphs {
-            if g.out_union(p) != full {
-                return Ok(false);
-            }
-        }
+    let silent_witness = |p: ProcSet| graphs.iter().any(|g| g.out_union(p) != full);
+
+    #[cfg(feature = "parallel")]
+    {
+        Ok(!crate::par_util::batched_any(
+            full.k_subsets(i),
+            silent_witness,
+        ))
     }
-    Ok(true)
+    #[cfg(not(feature = "parallel"))]
+    {
+        Ok(!full.k_subsets(i).any(silent_witness))
+    }
 }
 
 /// The distributed domination number `γ_dist(S)` (Def 5.2, paper-faithful
@@ -107,9 +112,10 @@ pub fn distributed_domination_number_exact(graphs: &[Digraph]) -> Result<usize, 
     let graph_idx = ProcSet::full(graphs.len().min(crate::proc_set::MAX_PROCS));
     for i in 1..=n {
         let si_size = i.min(graphs.len());
-        let mut ok = true;
-        'outer: for p in full.k_subsets(i) {
-            for si in graph_idx.k_subsets(si_size) {
+        // Whether some collection of exactly `si_size` graphs leaves
+        // `p`'s joint audience short of Π.
+        let jointly_silent = |p: ProcSet| {
+            graph_idx.k_subsets(si_size).any(|si| {
                 let mut heard = ProcSet::empty();
                 for gi in si.iter() {
                     heard = heard.union(graphs[gi].out_union(p));
@@ -117,13 +123,16 @@ pub fn distributed_domination_number_exact(graphs: &[Digraph]) -> Result<usize, 
                         break;
                     }
                 }
-                if heard != full {
-                    ok = false;
-                    break 'outer;
-                }
-            }
-        }
-        if ok {
+                heard != full
+            })
+        };
+
+        #[cfg(feature = "parallel")]
+        let silent_exists = crate::par_util::batched_any(full.k_subsets(i), jointly_silent);
+        #[cfg(not(feature = "parallel"))]
+        let silent_exists = full.k_subsets(i).any(jointly_silent);
+
+        if !silent_exists {
             return Ok(i);
         }
     }

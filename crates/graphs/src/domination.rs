@@ -16,6 +16,13 @@
 
 use crate::digraph::Digraph;
 use crate::proc_set::ProcSet;
+#[cfg(feature = "parallel")]
+use rayon::prelude::*;
+
+/// Depth to which the branch-and-bound tree is expanded into a frontier
+/// of independent subproblems for parallel search (≤ 2^DEPTH tasks).
+#[cfg(feature = "parallel")]
+const PAR_SPLIT_DEPTH: usize = 4;
 
 /// A dominating set together with its size; produced by the exact solver so
 /// callers can reuse the witness (e.g. the Thm 3.2 algorithm hardcodes it).
@@ -58,6 +65,25 @@ pub fn minimum_dominating_set(g: &Digraph) -> DominatingSet {
     order.sort_by_key(|&u| std::cmp::Reverse(g.out_set(u).len()));
     let max_out = g.out_set(order[0]).len();
 
+    // The two branch guards, shared verbatim by the sequential
+    // recursion and the parallel frontier expansion — the paths only
+    // return identical witnesses if these never diverge.
+
+    /// Taking `order[idx]` is useful iff it covers something new.
+    fn can_take(g: &Digraph, u: usize, covered: ProcSet) -> bool {
+        !g.out_set(u).difference(covered).is_empty()
+    }
+
+    /// Skipping `order[idx]` is sound iff the remaining candidates can
+    /// still cover everything.
+    fn can_skip(g: &Digraph, order: &[usize], idx: usize, covered: ProcSet, full: ProcSet) -> bool {
+        let mut rest = covered;
+        for &v in &order[idx + 1..] {
+            rest = rest.union(g.out_set(v));
+        }
+        full.is_subset(rest)
+    }
+
     // Depth-first branch and bound over the candidate list.
     #[allow(clippy::too_many_arguments)]
     fn rec(
@@ -88,9 +114,8 @@ pub fn minimum_dominating_set(g: &Digraph) -> DominatingSet {
             return;
         }
         let u = order[idx];
-        // Branch 1: take u (only useful if it covers something new).
-        let gain = g.out_set(u).difference(covered);
-        if !gain.is_empty() {
+        // Branch 1: take u.
+        if can_take(g, u, covered) {
             rec(
                 g,
                 order,
@@ -103,19 +128,77 @@ pub fn minimum_dominating_set(g: &Digraph) -> DominatingSet {
                 best_size,
             );
         }
-        // Branch 2: skip u — only sound if the remaining candidates can
-        // still cover everything.
-        let mut rest = covered;
-        for &v in &order[idx + 1..] {
-            rest = rest.union(g.out_set(v));
-        }
-        if full.is_subset(rest) {
+        // Branch 2: skip u.
+        if can_skip(g, order, idx, covered, full) {
             rec(
-                g, order, idx + 1, chosen, covered, full, max_out, best, best_size,
+                g,
+                order,
+                idx + 1,
+                chosen,
+                covered,
+                full,
+                max_out,
+                best,
+                best_size,
             );
         }
     }
 
+    // Parallel path: expand the take/skip decision tree to a shallow
+    // frontier of independent subproblems (pre-order, so merging in
+    // frontier order reproduces the sequential first-found witness),
+    // then branch-and-bound each subtree on its own thread. Subtrees
+    // don't share an incumbent, so pruning is weaker than the
+    // sequential scan — the price of parallelism — but each starts
+    // from the greedy incumbent, which keeps the loss minor.
+    #[cfg(feature = "parallel")]
+    {
+        let mut frontier: Vec<(usize, ProcSet, ProcSet)> = Vec::new();
+        let mut stack = vec![(0usize, ProcSet::empty(), ProcSet::empty())];
+        while let Some((idx, chosen, covered)) = stack.pop() {
+            if covered == full || idx >= order.len() || idx >= PAR_SPLIT_DEPTH {
+                frontier.push((idx, chosen, covered));
+                continue;
+            }
+            let u = order[idx];
+            // Push skip below take: the LIFO pop explores take first,
+            // so frontier leaves are emitted in pre-order — merging in
+            // that order reproduces the sequential first-found witness.
+            if can_skip(g, &order, idx, covered, full) {
+                stack.push((idx + 1, chosen, covered));
+            }
+            if can_take(g, u, covered) {
+                stack.push((idx + 1, chosen.with(u), covered.union(g.out_set(u))));
+            }
+        }
+        let incumbent_size = best_size;
+        let results: Vec<(ProcSet, usize)> = frontier
+            .into_par_iter()
+            .map(|(idx, chosen, covered)| {
+                let mut sub_best = best;
+                let mut sub_size = incumbent_size;
+                rec(
+                    g,
+                    &order,
+                    idx,
+                    chosen,
+                    covered,
+                    full,
+                    max_out,
+                    &mut sub_best,
+                    &mut sub_size,
+                );
+                (sub_best, sub_size)
+            })
+            .collect();
+        for (set, size) in results {
+            if size < best_size {
+                best = set;
+                best_size = size;
+            }
+        }
+    }
+    #[cfg(not(feature = "parallel"))]
     rec(
         g,
         &order,

@@ -131,8 +131,8 @@ mod tests {
     #[test]
     fn set_version_takes_max() {
         let s = vec![
-            Digraph::complete(4).unwrap(),          // γ_eq = 1
-            families::cycle(4).unwrap(),            // γ_eq = 3
+            Digraph::complete(4).unwrap(),           // γ_eq = 1
+            families::cycle(4).unwrap(),             // γ_eq = 3
             families::broadcast_star(4, 2).unwrap(), // γ_eq = 4
         ];
         assert_eq!(equal_domination_number_of_set(&s).unwrap(), 4);

@@ -56,7 +56,10 @@ impl fmt::Display for GraphError {
             ),
             GraphError::EmptyProcessSet => write!(f, "the process set must be non-empty"),
             GraphError::MismatchedSizes { left, right } => {
-                write!(f, "graphs have different process counts ({left} vs {right})")
+                write!(
+                    f,
+                    "graphs have different process counts ({left} vs {right})"
+                )
             }
             GraphError::EmptyGraphSet => write!(f, "the set of graphs must be non-empty"),
             GraphError::IndexOutOfDomain { index, domain } => {

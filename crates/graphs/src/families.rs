@@ -177,7 +177,11 @@ mod tests {
             assert!(g.has_edge(1, v));
         }
         assert_eq!(g.out_set(0), ProcSet::singleton(0));
-        assert_eq!(g.in_set(1), ProcSet::singleton(1), "center hears only itself");
+        assert_eq!(
+            g.in_set(1),
+            ProcSet::singleton(1),
+            "center hears only itself"
+        );
         assert_eq!(g.proper_edge_count(), 3);
     }
 

@@ -55,6 +55,8 @@ pub mod equal_domination;
 pub mod error;
 pub mod families;
 pub mod max_covering;
+#[cfg(feature = "parallel")]
+pub(crate) mod par_util;
 pub mod perm;
 pub mod proc_set;
 pub mod product;

@@ -60,13 +60,16 @@ pub fn max_covering_number_with(
     }
     let full = ProcSet::full(n);
     let m = i.min(graphs.len());
-    let mut best: Option<usize> = None;
-    for p in full.k_subsets(i) {
+
+    // The best non-dominating audience union for one choice of `P` —
+    // independent across `P`-subsets, which are the parallel work unit.
+    let best_for_subset = |p: ProcSet| -> Option<usize> {
         // Deduplicate the audiences Out_G(P): collections only see these.
         let mut audiences: Vec<ProcSet> = graphs.iter().map(|g| g.out_union(p)).collect();
         audiences.sort();
         audiences.dedup();
         // A collection's union avoids some witness q; scan witnesses.
+        let mut best: Option<usize> = None;
         for q in 0..n {
             let cands: Vec<ProcSet> = audiences
                 .iter()
@@ -82,7 +85,15 @@ pub fn max_covering_number_with(
                 best = Some(u.len());
             }
         }
-    }
+        best
+    };
+
+    #[cfg(feature = "parallel")]
+    let best: Option<usize> =
+        crate::par_util::batched_filter_map_max(full.k_subsets(i), best_for_subset);
+    #[cfg(not(feature = "parallel"))]
+    let best: Option<usize> = full.k_subsets(i).filter_map(best_for_subset).max();
+
     best.ok_or(GraphError::IndexOutOfDomain {
         index: i,
         domain: "no non-dominating scenario exists (i ≥ γ_dist?)",
@@ -93,9 +104,7 @@ pub fn max_covering_number_with(
 /// sets. Branch and bound over the candidates sorted by decreasing size.
 fn best_union(cands: &[ProcSet], m: usize) -> ProcSet {
     if cands.len() <= m {
-        return cands
-            .iter()
-            .fold(ProcSet::empty(), |acc, &c| acc.union(c));
+        return cands.iter().fold(ProcSet::empty(), |acc, &c| acc.union(c));
     }
     let mut sorted = cands.to_vec();
     sorted.sort_by_key(|c| std::cmp::Reverse(c.len()));
@@ -146,7 +155,11 @@ pub fn max_covering_coefficient_with(
 ) -> Result<usize, GraphError> {
     let n = graphs.first().ok_or(GraphError::EmptyGraphSet)?.n();
     let mc = max_covering_number_with(graphs, i, gamma_dist)?;
-    Ok(if mc > i { (n - i - 1) / (mc - i) } else { n - i })
+    Ok(if mc > i {
+        (n - i - 1) / (mc - i)
+    } else {
+        n - i
+    })
 }
 
 /// The `i`-th max-covering coefficient, computing `γ_dist(S)` internally.
@@ -245,7 +258,7 @@ mod tests {
         // max {|Out_G(P)| : |P| = i, Out_G(P) ≠ Π}.
         let g = families::fig1_second_graph();
         let gd = distributed_domination_number(std::slice::from_ref(&g)).unwrap(); // 4
-        // i = 1: best single audience ≠ Π is 2 (every process reaches 2).
+                                                                                   // i = 1: best single audience ≠ Π is 2 (every process reaches 2).
         assert_eq!(
             max_covering_number_with(std::slice::from_ref(&g), 1, gd).unwrap(),
             2
@@ -282,7 +295,7 @@ mod tests {
         let stars = symmetric_closure(&[families::broadcast_star(5, 0).unwrap()]).unwrap();
         let gd = distributed_domination_number(&stars).unwrap();
         assert_eq!(max_covering_coefficient_with(&stars, 2, gd).unwrap(), 3); // n−i
-        // max-cov > i branch (cycles).
+                                                                              // max-cov > i branch (cycles).
         let cyc = symmetric_closure(&[families::cycle(5).unwrap()]).unwrap();
         let gd = distributed_domination_number(&cyc).unwrap();
         let mc = max_covering_number_with(&cyc, 1, gd).unwrap();
@@ -334,7 +347,10 @@ mod tests {
             for t in 1..gd {
                 let direct = max_covering_coefficient_with(&sym, t, gd).unwrap();
                 let est = symmetric_coefficient_estimate(&g, t).unwrap();
-                assert!(est <= direct, "graph {g}, t = {t}: est {est} > direct {direct}");
+                assert!(
+                    est <= direct,
+                    "graph {g}, t = {t}: est {est} > direct {direct}"
+                );
             }
         }
     }

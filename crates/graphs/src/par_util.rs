@@ -1,0 +1,52 @@
+//! Batched parallel scans over combinatorial spaces (crate-internal).
+//!
+//! `ProcSet::k_subsets` spaces grow as `C(n, k)`; materializing one in
+//! full before fanning out would cost unbounded memory and forfeit
+//! early exit. These helpers stream the iterator in fixed-size batches
+//! instead: each batch is processed in parallel, and scanning stops at
+//! the first batch containing a witness (for `any`) — bounding memory
+//! by the batch size while keeping the cores busy.
+
+use rayon::prelude::*;
+
+/// Items pulled from the source iterator per parallel round.
+const BATCH: usize = 4096;
+
+/// Parallel short-circuiting `any` over a streamed iterator.
+pub(crate) fn batched_any<T, I, F>(iter: I, pred: F) -> bool
+where
+    T: Send,
+    I: Iterator<Item = T>,
+    F: Fn(T) -> bool + Sync,
+{
+    let mut iter = iter;
+    loop {
+        let batch: Vec<T> = iter.by_ref().take(BATCH).collect();
+        if batch.is_empty() {
+            return false;
+        }
+        if batch.into_par_iter().any(&pred) {
+            return true;
+        }
+    }
+}
+
+/// Parallel `filter_map(..).max()` over a streamed iterator.
+pub(crate) fn batched_filter_map_max<T, I, F, O>(iter: I, f: F) -> Option<O>
+where
+    T: Send,
+    O: Ord + Send,
+    I: Iterator<Item = T>,
+    F: Fn(T) -> Option<O> + Sync,
+{
+    let mut iter = iter;
+    let mut best: Option<O> = None;
+    loop {
+        let batch: Vec<T> = iter.by_ref().take(BATCH).collect();
+        if batch.is_empty() {
+            return best;
+        }
+        let local = batch.into_par_iter().filter_map(&f).max();
+        best = best.max(local);
+    }
+}

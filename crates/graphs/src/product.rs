@@ -200,9 +200,7 @@ mod tests {
         // star_i ⊗ star_j = union of stars i and j... check all members
         // contain some star.
         for g in &p {
-            assert!(
-                g.contains_graph(&s[0]).unwrap() || g.contains_graph(&s[1]).unwrap()
-            );
+            assert!(g.contains_graph(&s[0]).unwrap() || g.contains_graph(&s[1]).unwrap());
         }
         let p2 = set_power(&s, 2).unwrap();
         assert_eq!(p, p2);
@@ -211,10 +209,7 @@ mod tests {
             sorted.sort();
             sorted
         });
-        assert_eq!(
-            set_power(&s, 0).unwrap(),
-            vec![Digraph::empty(3).unwrap()]
-        );
+        assert_eq!(set_power(&s, 0).unwrap(), vec![Digraph::empty(3).unwrap()]);
     }
 
     #[test]

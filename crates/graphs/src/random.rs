@@ -188,9 +188,7 @@ mod tests {
         let mut r = rng();
         for s in 1..4 {
             let g = random_star_union(5, s, &mut r).unwrap();
-            let centers = (0..5)
-                .filter(|&c| g.out_set(c) == ProcSet::full(5))
-                .count();
+            let centers = (0..5).filter(|&c| g.out_set(c) == ProcSet::full(5)).count();
             assert_eq!(centers, s);
         }
     }

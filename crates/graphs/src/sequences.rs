@@ -118,10 +118,7 @@ fn unroll(
 /// # Errors
 ///
 /// [`GraphError::EmptyGraphSet`] when `graphs` is empty.
-pub fn best_k_by_sequences(
-    graphs: &[Digraph],
-    r: usize,
-) -> Result<Option<usize>, GraphError> {
+pub fn best_k_by_sequences(graphs: &[Digraph], r: usize) -> Result<Option<usize>, GraphError> {
     let first = graphs.first().ok_or(GraphError::EmptyGraphSet)?;
     let n = first.n();
     for i in 1..=n {

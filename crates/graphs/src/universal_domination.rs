@@ -86,13 +86,7 @@ pub fn minimum_universal_dominating_set(
 
     // Branch and bound on requirements: pick an unhit requirement, branch
     // on its members.
-    fn rec(
-        n: usize,
-        reqs: &[ProcSet],
-        chosen: ProcSet,
-        best: &mut ProcSet,
-        best_size: &mut usize,
-    ) {
+    fn rec(n: usize, reqs: &[ProcSet], chosen: ProcSet, best: &mut ProcSet, best_size: &mut usize) {
         if chosen.len() >= *best_size {
             return;
         }
@@ -124,12 +118,7 @@ fn greedy_hitting_set(n: usize, reqs: &[ProcSet]) -> ProcSet {
     let mut remaining: Vec<ProcSet> = reqs.to_vec();
     while !remaining.is_empty() {
         let (p, _) = (0..n)
-            .map(|p| {
-                (
-                    p,
-                    remaining.iter().filter(|r| r.contains(p)).count(),
-                )
-            })
+            .map(|p| (p, remaining.iter().filter(|r| r.contains(p)).count()))
             .max_by_key(|&(p, hits)| (hits, std::cmp::Reverse(p)))
             .expect("n > 0");
         chosen.insert(p);
@@ -180,10 +169,7 @@ mod tests {
         let sets = vec![
             symmetric_closure(&[families::cycle(4).unwrap()]).unwrap(),
             symmetric_closure(&[families::broadcast_star(4, 0).unwrap()]).unwrap(),
-            vec![
-                families::path(4).unwrap(),
-                families::cycle(4).unwrap(),
-            ],
+            vec![families::path(4).unwrap(), families::cycle(4).unwrap()],
         ];
         for s in sets {
             let univ = universal_domination_number(&s).unwrap();

@@ -15,8 +15,8 @@ use ksa_graphs::equal_domination::{
     equal_domination_number, equal_domination_number_brute, equal_domination_number_of_set,
 };
 use ksa_graphs::perm::{all_permutations, Permutation};
-use ksa_graphs::product::{dissemination, power, product};
 use ksa_graphs::proc_set::ProcSet;
+use ksa_graphs::product::{dissemination, power, product};
 use ksa_graphs::sequences::covering_sequence;
 use proptest::prelude::*;
 

@@ -103,7 +103,12 @@ impl ObliviousModel for ExplicitModel {
 
 impl fmt::Debug for ExplicitModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ExplicitModel(n={}, {} graphs)", self.n, self.graphs.len())
+        write!(
+            f,
+            "ExplicitModel(n={}, {} graphs)",
+            self.n,
+            self.graphs.len()
+        )
     }
 }
 

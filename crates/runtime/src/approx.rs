@@ -142,7 +142,6 @@ mod tests {
     use ksa_models::adversary::FixedSequence;
     use ksa_models::named;
 
-
     #[test]
     fn non_split_detection() {
         // A broadcast star is non-split; loops-only is split.
@@ -212,8 +211,10 @@ mod tests {
         let eps = 1e-3;
         let budget = rounds_to_epsilon(diameter(&inputs), eps);
         assert_eq!(budget, 10);
-        let mut adv =
-            FixedSequence::new(vec![model.generators()[0].clone(), model.generators()[2].clone()]);
+        let mut adv = FixedSequence::new(vec![
+            model.generators()[0].clone(),
+            model.generators()[2].clone(),
+        ]);
         let trace = run_approximate_consensus(&mut adv, &inputs, eps, budget).unwrap();
         assert!(trace.converged_at.is_some(), "{:?}", trace.diameters);
         assert!(trace.converged_at.unwrap() <= budget);
@@ -226,8 +227,7 @@ mod tests {
     #[test]
     fn split_schedule_never_converges() {
         let mut adv = FixedSequence::new(vec![Digraph::empty(3).unwrap()]);
-        let trace =
-            run_approximate_consensus(&mut adv, &[0.0, 1.0, 0.5], 1e-3, 20).unwrap();
+        let trace = run_approximate_consensus(&mut adv, &[0.0, 1.0, 0.5], 1e-3, 20).unwrap();
         assert_eq!(trace.converged_at, None);
         assert_eq!(trace.diameters.last().copied(), Some(1.0));
     }

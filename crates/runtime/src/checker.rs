@@ -25,6 +25,65 @@ use ksa_models::ClosedAboveModel;
 use ksa_models::ObliviousModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+#[cfg(feature = "parallel")]
+use rayon::prelude::*;
+
+/// Generator schedules pulled per parallel round: bounds the memory
+/// held in cloned schedules while keeping every core busy (each
+/// schedule expands to `values^n` executions of work).
+#[cfg(feature = "parallel")]
+const SCHEDULE_BATCH: usize = 256;
+
+/// An explicit exploration budget: the guard that makes exhaustive
+/// checks degrade into a clean [`RuntimeError::TooLarge`] instead of
+/// hanging (or exhausting memory) on an instance that is too big.
+///
+/// The size of a check is known up front (`|generators|^rounds ·
+/// values^n` executions), so the budget is enforced *before* any work
+/// starts; callers can catch the error and fall back to
+/// [`monte_carlo`](crate::monte_carlo) sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Maximum number of executions an exhaustive check may enumerate.
+    pub max_executions: u128,
+}
+
+impl RunBudget {
+    /// The default ceiling: comfortably interactive on small models.
+    pub const DEFAULT: RunBudget = RunBudget {
+        max_executions: 100_000_000,
+    };
+
+    /// A budget of `max_executions` executions.
+    pub fn new(max_executions: u128) -> Self {
+        RunBudget { max_executions }
+    }
+
+    /// Errors with [`RuntimeError::TooLarge`] when `estimated` exceeds
+    /// this budget.
+    pub fn admit(&self, what: &'static str, estimated: u128) -> Result<(), RuntimeError> {
+        if estimated > self.max_executions {
+            return Err(RuntimeError::TooLarge {
+                what,
+                estimated,
+                limit: self.max_executions,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for RunBudget {
+    fn default() -> Self {
+        RunBudget::DEFAULT
+    }
+}
+
+impl From<u128> for RunBudget {
+    fn from(max_executions: u128) -> Self {
+        RunBudget::new(max_executions)
+    }
+}
 
 /// Outcome of an exhaustive (or sampled) check.
 #[derive(Debug, Clone)]
@@ -39,9 +98,36 @@ pub struct CheckReport {
     pub witness: Option<ExecutionTrace>,
 }
 
+impl CheckReport {
+    fn empty() -> Self {
+        CheckReport {
+            executions: 0,
+            worst_distinct: 0,
+            validity_ok: true,
+            witness: None,
+        }
+    }
+
+    /// Folds `other` into `self`. Merging reports in schedule order
+    /// reproduces exactly the sequential scan: the witness is the first
+    /// trace (in enumeration order) achieving the global worst.
+    fn merge(&mut self, other: CheckReport) {
+        self.executions += other.executions;
+        self.validity_ok &= other.validity_ok;
+        if other.worst_distinct > self.worst_distinct {
+            self.worst_distinct = other.worst_distinct;
+            self.witness = other.witness;
+        }
+    }
+}
+
 /// Enumerates all input assignments over `values` for `n` processes
 /// (odometer), applying `f` to each.
-fn for_all_inputs(n: usize, values: usize, mut f: impl FnMut(&[Value]) -> Result<(), RuntimeError>) -> Result<(), RuntimeError> {
+fn for_all_inputs(
+    n: usize,
+    values: usize,
+    mut f: impl FnMut(&[Value]) -> Result<(), RuntimeError>,
+) -> Result<(), RuntimeError> {
     let mut assignment = vec![0 as Value; n];
     loop {
         f(&assignment)?;
@@ -69,13 +155,14 @@ fn for_all_inputs(n: usize, values: usize, mut f: impl FnMut(&[Value]) -> Result
 /// [`RuntimeError::TooLarge`] when `|generators|^rounds · values^n`
 /// exceeds `budget`; [`RuntimeError::BadParameter`] for zero
 /// rounds/values.
-pub fn check_exhaustive<A: ObliviousAlgorithm + ?Sized>(
+pub fn check_exhaustive<A: ObliviousAlgorithm + Sync + ?Sized>(
     algorithm: &A,
     model: &ClosedAboveModel,
     values: usize,
     rounds: usize,
-    budget: u128,
+    budget: impl Into<RunBudget>,
 ) -> Result<CheckReport, RuntimeError> {
+    let budget = budget.into();
     if values == 0 {
         return Err(RuntimeError::BadParameter {
             name: "values",
@@ -94,27 +181,52 @@ pub fn check_exhaustive<A: ObliviousAlgorithm + ?Sized>(
     let g = model.generators().len() as u128;
     let total = g
         .checked_pow(rounds as u32)
-        .and_then(|s| (values as u128).checked_pow(n as u32).map(|i| s.saturating_mul(i)))
+        .and_then(|s| {
+            (values as u128)
+                .checked_pow(n as u32)
+                .map(|i| s.saturating_mul(i))
+        })
         .unwrap_or(u128::MAX);
-    if total > budget {
-        return Err(RuntimeError::TooLarge {
-            what: "exhaustive check",
-            estimated: total,
-            limit: budget,
-        });
-    }
-    let mut report = CheckReport {
-        executions: 0,
-        worst_distinct: 0,
-        validity_ok: true,
-        witness: None,
-    };
-    for schedule in generator_schedules(model, rounds) {
+    budget.admit("exhaustive check", total)?;
+
+    // One independent sub-report per generator schedule; merged in
+    // schedule order, so the parallel and sequential paths return
+    // byte-identical reports.
+    let per_schedule = |schedule: &[ksa_graphs::Digraph]| -> Result<CheckReport, RuntimeError> {
+        let mut local = CheckReport::empty();
         for_all_inputs(n, values, |inputs| {
-            let trace = execute_schedule(algorithm, &schedule, inputs)?;
-            record(&mut report, trace);
+            let trace = execute_schedule(algorithm, schedule, inputs)?;
+            record(&mut local, trace);
             Ok(())
         })?;
+        Ok(local)
+    };
+
+    let mut report = CheckReport::empty();
+    #[cfg(feature = "parallel")]
+    {
+        // Stream schedules in bounded batches (a schedule clones
+        // `rounds` digraphs, so a full up-front collect could dwarf
+        // the execution count in memory) and merge in schedule order.
+        let mut schedules = generator_schedules(model, rounds);
+        loop {
+            let batch: Vec<Vec<ksa_graphs::Digraph>> =
+                schedules.by_ref().take(SCHEDULE_BATCH).collect();
+            if batch.is_empty() {
+                break;
+            }
+            let partials: Vec<Result<CheckReport, RuntimeError>> = batch
+                .par_iter()
+                .map(|schedule| per_schedule(schedule))
+                .collect();
+            for partial in partials {
+                report.merge(partial?);
+            }
+        }
+    }
+    #[cfg(not(feature = "parallel"))]
+    for schedule in generator_schedules(model, rounds) {
+        report.merge(per_schedule(&schedule)?);
     }
     Ok(report)
 }
@@ -126,30 +238,61 @@ pub fn check_exhaustive<A: ObliviousAlgorithm + ?Sized>(
 /// # Errors
 ///
 /// Same conditions as [`check_exhaustive`].
-pub fn check_with_supersets<A: ObliviousAlgorithm + ?Sized>(
+pub fn check_with_supersets<A: ObliviousAlgorithm + Sync + ?Sized>(
     algorithm: &A,
     model: &ClosedAboveModel,
     values: usize,
     rounds: usize,
     samples: usize,
     seed: u64,
-    budget: u128,
+    budget: impl Into<RunBudget>,
 ) -> Result<CheckReport, RuntimeError> {
     let mut base = check_exhaustive(algorithm, model, values, rounds, budget)?;
     let n = model.n();
-    let mut rng = StdRng::seed_from_u64(seed);
-    for schedule in generator_schedules(model, rounds) {
-        for _ in 0..samples {
-            let lifted: Vec<ksa_graphs::Digraph> = schedule
-                .iter()
-                .map(|g| ksa_graphs::random::random_superset(g, &mut rng))
-                .collect::<Result<_, _>>()?;
-            for_all_inputs(n, values, |inputs| {
-                let trace = execute_schedule(algorithm, &lifted, inputs)?;
-                record(&mut base, trace);
-                Ok(())
-            })?;
+
+    // Each schedule perturbs with its own generator, derived from
+    // (seed, schedule index) — schedules are independent streams, so the
+    // parallel and sequential paths sample identical supersets.
+    let per_schedule =
+        |(idx, schedule): (usize, &[ksa_graphs::Digraph])| -> Result<CheckReport, RuntimeError> {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut local = CheckReport::empty();
+            for _ in 0..samples {
+                let lifted: Vec<ksa_graphs::Digraph> = schedule
+                    .iter()
+                    .map(|g| ksa_graphs::random::random_superset(g, &mut rng))
+                    .collect::<Result<_, _>>()?;
+                for_all_inputs(n, values, |inputs| {
+                    let trace = execute_schedule(algorithm, &lifted, inputs)?;
+                    record(&mut local, trace);
+                    Ok(())
+                })?;
+            }
+            Ok(local)
+        };
+
+    #[cfg(feature = "parallel")]
+    {
+        let mut schedules = generator_schedules(model, rounds).enumerate();
+        loop {
+            let batch: Vec<(usize, Vec<ksa_graphs::Digraph>)> =
+                schedules.by_ref().take(SCHEDULE_BATCH).collect();
+            if batch.is_empty() {
+                break;
+            }
+            let partials: Vec<Result<CheckReport, RuntimeError>> = batch
+                .par_iter()
+                .map(|(idx, schedule)| per_schedule((*idx, schedule.as_slice())))
+                .collect();
+            for partial in partials {
+                base.merge(partial?);
+            }
         }
+    }
+    #[cfg(not(feature = "parallel"))]
+    for (idx, schedule) in generator_schedules(model, rounds).enumerate() {
+        base.merge(per_schedule((idx, schedule.as_slice()))?);
     }
     Ok(base)
 }
@@ -233,8 +376,7 @@ mod tests {
                     .map(|u| u.k)
                     .min()
                     .expect("γ_eq bound always present");
-                let chk =
-                    check_exhaustive(&MinOfAll::new(), &m, 3, rounds, 100_000_000).unwrap();
+                let chk = check_exhaustive(&MinOfAll::new(), &m, 3, rounds, 100_000_000).unwrap();
                 assert!(
                     chk.worst_distinct <= realizable,
                     "{m:?} r={rounds}: worst {} > bound {realizable}",

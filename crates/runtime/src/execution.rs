@@ -228,8 +228,7 @@ mod tests {
         let mut superset = c.clone();
         superset.add_edge(0, 2).unwrap();
         superset.add_edge(3, 1).unwrap();
-        let trace =
-            execute_schedule(&alg, std::slice::from_ref(&superset), &[4, 3, 2, 1]).unwrap();
+        let trace = execute_schedule(&alg, std::slice::from_ref(&superset), &[4, 3, 2, 1]).unwrap();
         assert!(trace.distinct_decisions() <= 2, "{:?}", trace.decisions);
         // Validity: all decisions are inputs.
         for d in &trace.decisions {

@@ -32,9 +32,7 @@ impl FullView {
     pub fn depth(&self) -> usize {
         match self {
             FullView::Input(_) => 0,
-            FullView::Round(pairs) => {
-                1 + pairs.iter().map(|(_, v)| v.depth()).max().unwrap_or(0)
-            }
+            FullView::Round(pairs) => 1 + pairs.iter().map(|(_, v)| v.depth()).max().unwrap_or(0),
         }
     }
 
@@ -81,8 +79,7 @@ pub fn run_full_information(
         });
     }
     let n = inputs.len();
-    let mut views: Vec<Vec<FullView>> =
-        vec![inputs.iter().map(|&v| FullView::Input(v)).collect()];
+    let mut views: Vec<Vec<FullView>> = vec![inputs.iter().map(|&v| FullView::Input(v)).collect()];
     for (round, g) in schedule.iter().enumerate() {
         if g.n() != n {
             return Err(RuntimeError::AdversaryGraphMismatch {
@@ -93,14 +90,7 @@ pub fn run_full_information(
         }
         let prev = views.last().expect("seeded");
         let next: Vec<FullView> = (0..n)
-            .map(|p| {
-                FullView::Round(
-                    g.in_set(p)
-                        .iter()
-                        .map(|q| (q, prev[q].clone()))
-                        .collect(),
-                )
-            })
+            .map(|p| FullView::Round(g.in_set(p).iter().map(|q| (q, prev[q].clone())).collect()))
             .collect();
         views.push(next);
     }
@@ -193,9 +183,7 @@ mod tests {
                 families::forward_matching(4).unwrap(),
             ],
         ] {
-            assert!(
-                flatten_matches_oblivious_execution(&schedule, &[9, 3, 5, 1]).unwrap()
-            );
+            assert!(flatten_matches_oblivious_execution(&schedule, &[9, 3, 5, 1]).unwrap());
         }
     }
 
@@ -209,9 +197,7 @@ mod tests {
             let schedule: Vec<Digraph> = (0..3)
                 .map(|_| random_digraph(4, 0.4, &mut rng).expect("valid"))
                 .collect();
-            assert!(
-                flatten_matches_oblivious_execution(&schedule, &[4, 8, 2, 6]).unwrap()
-            );
+            assert!(flatten_matches_oblivious_execution(&schedule, &[4, 8, 2, 6]).unwrap());
         }
     }
 

@@ -34,12 +34,7 @@ impl MonteCarloReport {
         if self.executions == 0 {
             return 0.0;
         }
-        let total: usize = self
-            .histogram
-            .iter()
-            .enumerate()
-            .map(|(d, &c)| d * c)
-            .sum();
+        let total: usize = self.histogram.iter().enumerate().map(|(d, &c)| d * c).sum();
         total as f64 / self.executions as f64
     }
 }

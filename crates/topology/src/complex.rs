@@ -46,10 +46,8 @@ impl<V: View> Complex<V> {
     /// simplexes dominated by others (so `facets()` is truly the facet
     /// set).
     pub fn from_facets<I: IntoIterator<Item = Simplex<V>>>(candidates: I) -> Self {
-        let mut uniq: BTreeSet<Simplex<V>> = candidates
-            .into_iter()
-            .filter(|s| !s.is_empty())
-            .collect();
+        let mut uniq: BTreeSet<Simplex<V>> =
+            candidates.into_iter().filter(|s| !s.is_empty()).collect();
         // Remove dominated simplexes. Sorting by length descending lets us
         // keep only maximal ones with a quadratic scan over the (usually
         // short) kept list.
@@ -225,7 +223,12 @@ impl<V: View> Complex<V> {
 
 impl<V: View> fmt::Debug for Complex<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Complex[{} facets, dim {}]", self.facets.len(), self.dim())
+        write!(
+            f,
+            "Complex[{} facets, dim {}]",
+            self.facets.len(),
+            self.dim()
+        )
     }
 }
 

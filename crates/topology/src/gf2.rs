@@ -99,8 +99,7 @@ impl Gf2Matrix {
                 }
             }
             let Some(r) = found else { continue };
-            self.data
-                .swap_chunks(pivot_row, r, self.words_per_row);
+            self.data.swap_chunks(pivot_row, r, self.words_per_row);
             // Eliminate this column from every other row below.
             for rr in pivot_row + 1..self.rows {
                 if self.data[rr * self.words_per_row + word] & bit != 0 {

@@ -207,7 +207,10 @@ mod tests {
 
     #[test]
     fn void_complex_empty_betti() {
-        assert_eq!(reduced_betti_numbers(&Complex::<u32>::void()), Vec::<usize>::new());
+        assert_eq!(
+            reduced_betti_numbers(&Complex::<u32>::void()),
+            Vec::<usize>::new()
+        );
         assert_eq!(component_count(&Complex::<u32>::void()), 0);
     }
 

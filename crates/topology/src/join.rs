@@ -78,12 +78,8 @@ mod tests {
 
     #[test]
     fn pseudosphere_is_join_of_view_sets() {
-        let ps = Pseudosphere::new(vec![
-            (0, vec![0u32, 1]),
-            (1, vec![0, 1, 2]),
-            (2, vec![7]),
-        ])
-        .unwrap();
+        let ps =
+            Pseudosphere::new(vec![(0, vec![0u32, 1]), (1, vec![0, 1, 2]), (2, vec![7])]).unwrap();
         let parts = vec![points(0, &[0, 1]), points(1, &[0, 1, 2]), points(2, &[7])];
         assert_eq!(join_all(&parts).unwrap(), ps.to_complex());
     }
@@ -104,10 +100,7 @@ mod tests {
     #[test]
     fn join_with_point_is_cone_hence_contractible() {
         let circle = {
-            let tri = Simplex::new(
-                (0..3).map(|c| Vertex::new(c, 0u32)).collect(),
-            )
-            .unwrap();
+            let tri = Simplex::new((0..3).map(|c| Vertex::new(c, 0u32)).collect()).unwrap();
             Complex::boundary_of(&tri)
         };
         assert_eq!(homological_connectivity(&circle), 0);

@@ -32,7 +32,6 @@ use crate::simplex::{Simplex, Vertex, View};
 /// assert_eq!(nerve.dim(), 1);
 /// ```
 pub fn nerve_complex<V: View>(cover: &[Complex<V>]) -> Complex<()> {
-
     // Level-wise construction: frontier holds (index set as sorted vec,
     // running intersection).
     let mut facet_candidates: Vec<Vec<usize>> = Vec::new();
@@ -155,7 +154,7 @@ mod tests {
         assert_eq!(n.dim(), 1);
         assert_eq!(n.facet_count(), 3);
         assert_eq!(homological_connectivity(&n), 0); // a circle
-        // And indeed the union is a circle too (nerve lemma in action).
+                                                     // And indeed the union is a circle too (nerve lemma in action).
         let union = arcs[0].union(&arcs[1]).union(&arcs[2]);
         assert_eq!(homological_connectivity(&union), 0);
     }

@@ -191,16 +191,9 @@ mod tests {
         // boundary of a cross-polytope: an (m−1)-sphere, so exactly
         // (m−2)-connected.
         for m in 2..5 {
-            let p = Pseudosphere::new(
-                (0..m).map(|c| (c, vec![0u32, 1])).collect(),
-            )
-            .unwrap();
+            let p = Pseudosphere::new((0..m).map(|c| (c, vec![0u32, 1])).collect()).unwrap();
             let c = p.to_complex();
-            assert_eq!(
-                homological_connectivity(&c),
-                m as isize - 2,
-                "m = {m}"
-            );
+            assert_eq!(homological_connectivity(&c), m as isize - 2, "m = {m}");
         }
     }
 
@@ -257,10 +250,7 @@ mod tests {
 
     #[test]
     fn facet_budget_respected() {
-        let p = Pseudosphere::new(
-            (0..10).map(|c| (c, (0u32..10).collect())).collect(),
-        )
-        .unwrap();
+        let p = Pseudosphere::new((0..10).map(|c| (c, (0u32..10).collect())).collect()).unwrap();
         assert_eq!(p.facet_count(), 10_000_000_000);
         assert!(p.try_to_complex(1000).is_err());
     }

@@ -134,7 +134,9 @@ pub fn find_shelling_order<V: View>(
     for start in 0..r {
         let mut picked = vec![start];
         if dfs(&facets, 1u64 << start, &mut picked, &mut memo) {
-            return Ok(Some(picked.into_iter().map(|i| facets[i].clone()).collect()));
+            return Ok(Some(
+                picked.into_iter().map(|i| facets[i].clone()).collect(),
+            ));
         }
     }
     Ok(None)
@@ -256,11 +258,7 @@ mod tests {
 
     #[test]
     fn path_of_edges_is_shellable() {
-        let c = Complex::from_facets(vec![
-            simplex(&[0, 1]),
-            simplex(&[1, 2]),
-            simplex(&[2, 3]),
-        ]);
+        let c = Complex::from_facets(vec![simplex(&[0, 1]), simplex(&[1, 2]), simplex(&[2, 3])]);
         assert!(is_shellable(&c).unwrap());
     }
 

@@ -223,13 +223,7 @@ mod tests {
     use super::*;
 
     fn s(pairs: &[(usize, u32)]) -> Simplex<u32> {
-        Simplex::new(
-            pairs
-                .iter()
-                .map(|&(c, v)| Vertex::new(c, v))
-                .collect(),
-        )
-        .unwrap()
+        Simplex::new(pairs.iter().map(|&(c, v)| Vertex::new(c, v)).collect()).unwrap()
     }
 
     #[test]

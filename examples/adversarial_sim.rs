@@ -10,7 +10,10 @@ use kset_agreement::runtime::monte_carlo::monte_carlo;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let models: Vec<(&str, ClosedAboveModel)> = vec![
-        ("kernel n=4 (s=1 stars)", models::named::non_empty_kernel(4)?),
+        (
+            "kernel n=4 (s=1 stars)",
+            models::named::non_empty_kernel(4)?,
+        ),
         ("star unions n=4 s=2", models::named::star_unions(4, 2)?),
         ("symmetric ring n=4", models::named::symmetric_ring(4)?),
         ("fig1(b) model", models::named::fig1_second_model()?),

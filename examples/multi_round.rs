@@ -20,9 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(witness.contains_graph(&c6_squared)?);
     // …but no pair of supersets of C6 multiplies to exactly that graph.
     let found = search_product_preimage(&c6, &witness)?;
-    println!(
-        "C6² + (p1→p5) reachable as a product of supersets of C6? {found}"
-    );
+    println!("C6² + (p1→p5) reachable as a product of supersets of C6? {found}");
     assert!(!found);
     println!("=> ↑C6 ⊗ ↑C6 ⊊ ↑(C6 ⊗ C6), exactly as §6.1 claims\n");
 

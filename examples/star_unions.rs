@@ -12,7 +12,10 @@ use kset_agreement::runtime::checker::check_exhaustive;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== star unions: tight bounds (Thm 6.13) ==\n");
-    println!("{:>3} {:>3} | {:>9} {:>10} | {:>6}", "n", "s", "solvable", "impossible", "tight");
+    println!(
+        "{:>3} {:>3} | {:>9} {:>10} | {:>6}",
+        "n", "s", "solvable", "impossible", "tight"
+    );
     println!("{}", "-".repeat(44));
 
     for n in 3..=7usize {
@@ -26,7 +29,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let tight = b
                 .lower
                 .as_ref()
-                .map(|l| if b.upper.k == l.impossible_k + 1 { "yes" } else { "no" })
+                .map(|l| {
+                    if b.upper.k == l.impossible_k + 1 {
+                        "yes"
+                    } else {
+                        "no"
+                    }
+                })
                 .unwrap_or("n/a");
             println!("{n:>3} {s:>3} | {:>9} {lower:>10} | {tight:>6}", b.upper.k);
         }

@@ -10,9 +10,7 @@ use kset_agreement::topology::connectivity::{connectivity, homological_connectiv
 use kset_agreement::topology::pseudosphere::Pseudosphere;
 use kset_agreement::topology::shelling::{find_shelling_order, is_shellable};
 use kset_agreement::topology::simplex::{Simplex, Vertex};
-use kset_agreement::topology::uninterpreted::{
-    closed_above_pseudosphere, uninterpreted_simplex,
-};
+use kset_agreement::topology::uninterpreted::{closed_above_pseudosphere, uninterpreted_simplex};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Figure 2: a graph and its uninterpreted simplex -----------------
@@ -48,13 +46,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (a) two triangles sharing an edge.
     let shellable = Complex::from_facets(vec![tri(0, 1, 2), tri(0, 2, 3)]);
     let order = find_shelling_order(&shellable)?.expect("Figure 4a is shellable");
-    println!("Figure 4a: shellable, order of {} facets found", order.len());
+    println!(
+        "Figure 4a: shellable, order of {} facets found",
+        order.len()
+    );
     // (b) two triangles sharing only a vertex.
     let not_shellable = Complex::from_facets(vec![tri(0, 1, 2), tri(2, 3, 4)]);
-    println!(
-        "Figure 4b: shellable? {}\n",
-        is_shellable(&not_shellable)?
-    );
+    println!("Figure 4b: shellable? {}\n", is_shellable(&not_shellable)?);
 
     // --- Theorem 4.12: uninterpreted complexes are (n−2)-connected -------
     println!("== Thm 4.12: connectivity of uninterpreted complexes ==");
@@ -62,7 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("↑C3 (simple ring)", vec![families::cycle(3)?]),
         (
             "kernel model n=3",
-            (0..3).map(|c| families::broadcast_star(3, c).expect("valid")).collect::<Vec<_>>(),
+            (0..3)
+                .map(|c| families::broadcast_star(3, c).expect("valid"))
+                .collect::<Vec<_>>(),
         ),
     ] {
         let mut complex = Complex::void();
@@ -82,8 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("stars s=1, n=3", models::named::star_unions(3, 1)?),
         ("symmetric ring n=3", models::named::symmetric_ring(3)?),
     ] {
-        let rep =
-            kset_agreement::core::verify::verify_protocol_connectivity(&model, 1, 500_000)?;
+        let rep = kset_agreement::core::verify::verify_protocol_connectivity(&model, 1, 500_000)?;
         println!(
             "  {name}: predicted l = {}, measured = {}, facets = {}  {}",
             rep.predicted_l,

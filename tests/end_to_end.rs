@@ -19,7 +19,10 @@ fn zoo() -> Vec<(&'static str, ClosedAboveModel)> {
         ("simple ring n=5", models::named::simple_ring(5).unwrap()),
         ("fig1 star", models::named::fig1_star_model().unwrap()),
         ("fig1 second", models::named::fig1_second_model().unwrap()),
-        ("tournament n=3", models::named::tournament(3, 1 << 10).unwrap()),
+        (
+            "tournament n=3",
+            models::named::tournament(3, 1 << 10).unwrap(),
+        ),
     ]
 }
 
@@ -50,8 +53,7 @@ fn algorithm_within_upper_bounds_everywhere() {
                 }
                 Err(kset_agreement::runtime::RuntimeError::TooLarge { .. }) => {
                     // Fall back to Monte-Carlo for the big schedules.
-                    let mc =
-                        monte_carlo(&MinOfAll::new(), &model, 3, rounds, 500, 1).unwrap();
+                    let mc = monte_carlo(&MinOfAll::new(), &model, 3, rounds, 500, 1).unwrap();
                     assert!(mc.validity_ok, "{name} r={rounds}");
                     assert!(mc.worst_distinct <= bound, "{name} r={rounds}");
                 }
@@ -91,7 +93,10 @@ fn protocol_connectivity_matches_predictions() {
         ("stars n=3 s=1", models::named::star_unions(3, 1).unwrap()),
         ("stars n=3 s=2", models::named::star_unions(3, 2).unwrap()),
         ("ring n=3", models::named::symmetric_ring(3).unwrap()),
-        ("tournament n=3", models::named::tournament(3, 1 << 10).unwrap()),
+        (
+            "tournament n=3",
+            models::named::tournament(3, 1 << 10).unwrap(),
+        ),
     ] {
         let rep = verify_protocol_connectivity(&model, 1, 500_000).unwrap();
         assert!(
@@ -117,9 +122,7 @@ fn dominating_set_algorithm_is_tight_on_simple_models() {
         let gamma = kset_agreement::graphs::domination::domination_number(&g);
         let model = ClosedAboveModel::new(vec![g.clone()]).unwrap();
         let alg = MinOfDominatingSet::for_graph(&g);
-        let chk =
-            check_with_supersets(&alg, &model, gamma + 1, 1, 10, 0xABCD, 50_000_000)
-                .unwrap();
+        let chk = check_with_supersets(&alg, &model, gamma + 1, 1, 10, 0xABCD, 50_000_000).unwrap();
         assert!(chk.validity_ok);
         assert_eq!(chk.worst_distinct, gamma, "graph {g}");
     }
@@ -132,8 +135,7 @@ fn rounds_help_monotonically() {
     let model = models::named::symmetric_ring(4).unwrap();
     let mut prev = usize::MAX;
     for rounds in 1..=3 {
-        let chk = check_exhaustive(&MinOfAll::new(), &model, 2, rounds, 50_000_000)
-            .unwrap();
+        let chk = check_exhaustive(&MinOfAll::new(), &model, 2, rounds, 50_000_000).unwrap();
         assert!(chk.worst_distinct <= prev, "r = {rounds}");
         prev = chk.worst_distinct;
     }
@@ -145,11 +147,8 @@ fn rounds_help_monotonically() {
 fn task_checker_and_traces_agree() {
     let model = models::named::star_unions(4, 2).unwrap();
     let task = KSetTask::new(4, 3).unwrap();
-    for schedule in
-        kset_agreement::models::adversary::generator_schedules(&model, 1).take(6)
-    {
-        let trace =
-            execute_schedule(&MinOfAll::new(), &schedule, &[3, 1, 2, 0]).unwrap();
+    for schedule in kset_agreement::models::adversary::generator_schedules(&model, 1).take(6) {
+        let trace = execute_schedule(&MinOfAll::new(), &schedule, &[3, 1, 2, 0]).unwrap();
         assert!(task.check(&trace.inputs, &trace.decisions).is_ok());
         assert!(trace.distinct_decisions() <= 3);
     }

@@ -76,8 +76,7 @@ fn figure_2_uninterpreted_simplex() {
 fn figure_3_pseudosphere() {
     use kset_agreement::topology::connectivity::is_k_connected;
     use kset_agreement::topology::pseudosphere::Pseudosphere;
-    let ps = Pseudosphere::new(vec![(0, vec![1u32, 2]), (1, vec![1, 2]), (2, vec![9])])
-        .unwrap();
+    let ps = Pseudosphere::new(vec![(0, vec![1u32, 2]), (1, vec![1, 2]), (2, vec![9])]).unwrap();
     let c = ps.to_complex();
     assert_eq!(c.facet_count(), 4);
     assert!(is_k_connected(&c, 1));
@@ -107,10 +106,8 @@ fn figure_4_shellability() {
 #[test]
 fn lemma_4_6_intersection() {
     use kset_agreement::topology::pseudosphere::Pseudosphere;
-    let a = Pseudosphere::new(vec![(0, vec![1u32, 2]), (1, vec![3, 4]), (2, vec![5])])
-        .unwrap();
-    let b = Pseudosphere::new(vec![(0, vec![2u32, 9]), (1, vec![4]), (2, vec![5, 6])])
-        .unwrap();
+    let a = Pseudosphere::new(vec![(0, vec![1u32, 2]), (1, vec![3, 4]), (2, vec![5])]).unwrap();
+    let b = Pseudosphere::new(vec![(0, vec![2u32, 9]), (1, vec![4]), (2, vec![5, 6])]).unwrap();
     assert_eq!(
         a.intersect(&b).to_complex(),
         a.to_complex().intersection(&b.to_complex())
@@ -124,11 +121,35 @@ fn theorem_4_12_connectivity() {
     use kset_agreement::topology::connectivity::is_k_connected;
     use kset_agreement::topology::uninterpreted::closed_above_uninterpreted_complex;
     let zoo: Vec<(usize, Vec<Digraph>)> = vec![
-        (3, models::named::star_unions(3, 1).unwrap().generators().to_vec()),
-        (3, models::named::symmetric_ring(3).unwrap().generators().to_vec()),
-        (4, models::named::star_unions(4, 2).unwrap().generators().to_vec()),
+        (
+            3,
+            models::named::star_unions(3, 1)
+                .unwrap()
+                .generators()
+                .to_vec(),
+        ),
+        (
+            3,
+            models::named::symmetric_ring(3)
+                .unwrap()
+                .generators()
+                .to_vec(),
+        ),
+        (
+            4,
+            models::named::star_unions(4, 2)
+                .unwrap()
+                .generators()
+                .to_vec(),
+        ),
         (4, vec![families::fig1_second_graph()]),
-        (4, models::named::symmetric_ring(4).unwrap().generators().to_vec()),
+        (
+            4,
+            models::named::symmetric_ring(4)
+                .unwrap()
+                .generators()
+                .to_vec(),
+        ),
     ];
     for (n, gens) in zoo {
         let c = closed_above_uninterpreted_complex(&gens, 1_000_000).unwrap();

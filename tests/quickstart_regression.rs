@@ -1,0 +1,38 @@
+//! Regression lock on the quickstart numbers from `src/lib.rs`.
+//!
+//! The crate-level doctest advertises exact values for the symmetric
+//! union-of-2-stars model on 5 processes (Thm 6.13 of the paper). This
+//! test pins those numbers as an ordinary integration test, so the
+//! doctest can never drift from reality without CI noticing — and the
+//! numbers stay covered even in doctest-skipping environments.
+
+use kset_agreement::prelude::*;
+
+#[test]
+fn thm_6_13_star_unions_quickstart_numbers() {
+    // The symmetric union-of-2-stars model on 5 processes (Thm 6.13):
+    // (n − s + 1) = 4-set agreement solvable, (n − s) = 3 impossible.
+    let model = models::named::star_unions(5, 2).expect("valid model");
+    let report = BoundsReport::compute(&model, 1).expect("computable");
+    assert_eq!(report.best_upper().expect("upper bound exists").k, 4);
+    assert_eq!(
+        report
+            .best_lower()
+            .expect("lower bound exists")
+            .impossible_k,
+        3
+    );
+    assert!(report.is_tight());
+}
+
+#[test]
+fn thm_6_13_flood_and_min_achieves_the_bound() {
+    // …and the flood-and-min algorithm actually achieves it: worst case
+    // exactly 4 distinct decisions over the full exhaustive check.
+    let model = models::named::star_unions(5, 2).expect("valid model");
+    let check = runtime::checker::check_exhaustive(&MinOfAll::new(), &model, 5, 1, 100_000_000)
+        .expect("within budget");
+    assert_eq!(check.worst_distinct, 4);
+    assert!(check.validity_ok);
+    assert!(check.executions > 0);
+}

@@ -1,0 +1,181 @@
+//! Collection strategies: `vec`, `btree_map`, `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::{Range, RangeInclusive};
+
+/// An admissible size (or size range) for a generated collection.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        if self.min == self.max {
+            self.min
+        } else {
+            self.min + rng.below((self.max - self.min + 1) as u64) as usize
+        }
+    }
+}
+
+/// A `Vec` of values from `element`, with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// A `BTreeMap` with keys from `key`, values from `value` and a size
+/// drawn from `size`. If the key space is too small to reach the drawn
+/// size, the map saturates at the distinct keys found (mirroring real
+/// proptest's behavior of giving up on duplicates).
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: impl Into<SizeRange>,
+) -> BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_map`].
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let target = self.size.sample(rng);
+        let mut map = BTreeMap::new();
+        let mut attempts = 0usize;
+        while map.len() < target && attempts < 64 * (target + 1) {
+            attempts += 1;
+            map.insert(self.key.sample(rng), self.value.sample(rng));
+        }
+        map
+    }
+}
+
+/// A `BTreeSet` of values from `element` with a size drawn from `size`
+/// (saturating like [`btree_map`] when the element space is small).
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.sample(rng);
+        let mut set = BTreeSet::new();
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < 64 * (target + 1) {
+            attempts += 1;
+            set.insert(self.element.sample(rng));
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn vec_respects_sizes() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..100 {
+            let v = vec(0usize..10, 2..5).sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let fixed = vec(any::<bool>(), 7usize).sample(&mut rng);
+            assert_eq!(fixed.len(), 7);
+        }
+    }
+
+    #[test]
+    fn sets_and_maps_reach_feasible_targets() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..100 {
+            let s = btree_set(0u8..4, 1..3).sample(&mut rng);
+            assert!((1..3).contains(&s.len()));
+            let m = btree_map(0usize..5, 0u8..3, 1..=4).sample(&mut rng);
+            assert!((1..=4).contains(&m.len()));
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Sequence helpers (`shuffle`, `choose`).
+
+use crate::Rng;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Fisher–Yates shuffle, in place.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` on an empty slice.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j: usize = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<usize> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(v, (0..20).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+
+    #[test]
+    fn choose_bounds() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let v = [1, 2, 3];
+        for _ in 0..50 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+    }
+}

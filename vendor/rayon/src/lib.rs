@@ -1,0 +1,410 @@
+//! A minimal, dependency-free, in-workspace stand-in for [`rayon`]'s
+//! parallel-iterator API, backed by `std::thread::scope`.
+//!
+//! The build environment for this repository is fully offline, so
+//! crates.io dependencies cannot be fetched. This shim implements the
+//! subset of the `rayon` surface the workspace's hot paths use —
+//! `par_iter` / `into_par_iter` with order-preserving `map`, `collect`,
+//! reductions and early-exit searches — with *real* data parallelism:
+//! items are split into contiguous chunks, one per available core, and
+//! processed on scoped OS threads. Swapping the path dependency for the
+//! crates.io crate is a one-line `Cargo.toml` change.
+//!
+//! Semantics guaranteed by this shim (and relied on by the callers):
+//!
+//! * `map`/`collect` preserve input order, exactly like rayon's indexed
+//!   parallel iterators;
+//! * reductions (`reduce`, `min`, `sum`, …) combine chunk results in
+//!   chunk order, so associative+commutative folds are deterministic;
+//! * `any`/`find_any` stop scheduling new work once a match is found
+//!   (cooperative early exit through an atomic flag).
+//!
+//! [`rayon`]: https://crates.io/crates/rayon
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+pub mod iter {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParallelIterator};
+}
+
+/// The number of worker threads used for a workload of `len` items.
+fn thread_count(len: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(len).max(1)
+}
+
+/// Splits `items` into `parts` contiguous chunks, preserving order.
+fn split<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let len = items.len();
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    // Split from the back so each split_off is O(chunk).
+    let mut sizes: Vec<usize> = (0..parts).map(|i| base + usize::from(i < extra)).collect();
+    while let Some(size) = sizes.pop() {
+        let tail = items.split_off(items.len() - size);
+        out.push(tail);
+    }
+    out.reverse();
+    out
+}
+
+/// Runs `f` over each chunk of `items` on scoped threads; returns the
+/// per-chunk results in chunk order.
+fn run_chunks<T, O, F>(items: Vec<T>, f: F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(Vec<T>) -> O + Sync,
+{
+    let parts = thread_count(items.len());
+    if parts <= 1 {
+        return if items.is_empty() {
+            Vec::new()
+        } else {
+            vec![f(items)]
+        };
+    }
+    let chunks = split(items, parts);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(|| f(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+/// Conversion into a parallel iterator (owning).
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item: Send;
+
+    /// Materializes the source into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// Conversion into a borrowing parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: Send + 'a;
+
+    /// A parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// A materialized parallel iterator: the items to process, in order.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// The consuming operations. A separate trait (rather than inherent
+/// methods) so call sites read identically to real rayon's
+/// `ParallelIterator`.
+pub trait ParallelIterator: Sized {
+    /// The item type.
+    type Item: Send;
+
+    /// Consumes `self` into its ordered item vector.
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Order-preserving parallel map.
+    fn map<O, F>(self, f: F) -> ParIter<O>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> O + Sync,
+    {
+        let results = run_chunks(self.into_items(), |chunk| {
+            chunk.into_iter().map(&f).collect::<Vec<O>>()
+        });
+        ParIter {
+            items: results.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Pairs each item with its index (indexed iterator semantics).
+    fn enumerate(self) -> ParIter<(usize, Self::Item)> {
+        ParIter {
+            items: self.into_items().into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Order-preserving parallel filter.
+    fn filter<F>(self, f: F) -> ParIter<Self::Item>
+    where
+        F: Fn(&Self::Item) -> bool + Sync,
+    {
+        let results = run_chunks(self.into_items(), |chunk| {
+            chunk.into_iter().filter(&f).collect::<Vec<_>>()
+        });
+        ParIter {
+            items: results.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Order-preserving parallel filter-map.
+    fn filter_map<O, F>(self, f: F) -> ParIter<O>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> Option<O> + Sync,
+    {
+        let results = run_chunks(self.into_items(), |chunk| {
+            chunk.into_iter().filter_map(&f).collect::<Vec<O>>()
+        });
+        ParIter {
+            items: results.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel for-each (no ordering guarantees between chunks).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        run_chunks(self.into_items(), |chunk| chunk.into_iter().for_each(&f));
+    }
+
+    /// Collects into any `FromIterator` target, preserving order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.into_items().into_iter().collect()
+    }
+
+    /// Parallel reduction. `identity` seeds each chunk; `op` must be
+    /// associative for a deterministic result (chunk results are folded
+    /// in chunk order).
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        let partials = run_chunks(self.into_items(), |chunk| {
+            chunk.into_iter().fold(identity(), &op)
+        });
+        partials.into_iter().fold(identity(), &op)
+    }
+
+    /// Minimum item, `None` when empty.
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        let partials = run_chunks(self.into_items(), |chunk| chunk.into_iter().min());
+        partials.into_iter().flatten().min()
+    }
+
+    /// Maximum item, `None` when empty.
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        let partials = run_chunks(self.into_items(), |chunk| chunk.into_iter().max());
+        partials.into_iter().flatten().max()
+    }
+
+    /// Minimum by key; on ties the earliest item wins (deterministic).
+    fn min_by_key<K, F>(self, f: F) -> Option<Self::Item>
+    where
+        K: Ord + Send,
+        F: Fn(&Self::Item) -> K + Sync,
+    {
+        let partials = run_chunks(self.into_items(), |chunk| {
+            chunk
+                .into_iter()
+                .map(|item| (f(&item), item))
+                .min_by(|a, b| a.0.cmp(&b.0))
+        });
+        partials
+            .into_iter()
+            .flatten()
+            .min_by(|a, b| a.0.cmp(&b.0))
+            .map(|(_, item)| item)
+    }
+
+    /// Parallel sum.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        let partials = run_chunks(self.into_items(), |chunk| chunk.into_iter().sum::<S>());
+        partials.into_iter().sum()
+    }
+
+    /// Number of items.
+    fn count(self) -> usize {
+        self.into_items().len()
+    }
+
+    /// Whether any item satisfies `f`; stops scheduling work after the
+    /// first match.
+    fn any<F>(self, f: F) -> bool
+    where
+        F: Fn(Self::Item) -> bool + Sync,
+    {
+        let found = AtomicBool::new(false);
+        run_chunks(self.into_items(), |chunk| {
+            for item in chunk {
+                if found.load(Ordering::Relaxed) {
+                    return;
+                }
+                if f(item) {
+                    found.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+        });
+        found.load(Ordering::Relaxed)
+    }
+
+    /// Whether every item satisfies `f` (early exit on a witness).
+    fn all<F>(self, f: F) -> bool
+    where
+        F: Fn(&Self::Item) -> bool + Sync,
+    {
+        !self.any(|item| !f(&item))
+    }
+
+    /// Some item matching the predicate, if one exists. Unlike real
+    /// rayon, deterministically returns a match from the earliest
+    /// *chunk* that found one.
+    fn find_any<F>(self, f: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item) -> bool + Sync,
+    {
+        let found = AtomicBool::new(false);
+        let partials = run_chunks(self.into_items(), |chunk| {
+            for item in chunk {
+                if found.load(Ordering::Relaxed) {
+                    return None;
+                }
+                if f(&item) {
+                    found.store(true, Ordering::Relaxed);
+                    return Some(item);
+                }
+            }
+            None
+        });
+        partials.into_iter().flatten().next()
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..10_000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<usize> = Vec::new();
+        assert_eq!(
+            v.par_iter().map(|&x| x).collect::<Vec<_>>(),
+            Vec::<usize>::new()
+        );
+        assert_eq!(v.into_par_iter().min(), None);
+    }
+
+    #[test]
+    fn reductions() {
+        let v: Vec<u64> = (1..=1000).collect();
+        assert_eq!(v.par_iter().map(|&x| x).sum::<u64>(), 500_500);
+        assert_eq!(v.par_iter().map(|&x| x).min(), Some(1));
+        assert_eq!(v.par_iter().map(|&x| x).max(), Some(1000));
+        assert_eq!(v.par_iter().map(|&x| x).count(), 1000);
+        assert_eq!(
+            (0..100usize).into_par_iter().reduce(|| 0, |a, b| a + b),
+            4950
+        );
+    }
+
+    #[test]
+    fn searches() {
+        let v: Vec<usize> = (0..10_000).collect();
+        assert!(v.par_iter().any(|&x| x == 9_999));
+        assert!(!v.par_iter().any(|&x| x == 10_000));
+        assert!(v.par_iter().all(|&x| *x < 10_000));
+        assert_eq!(
+            v.par_iter().find_any(|&&x| x % 7_777 == 7_776),
+            Some(&7_776)
+        );
+    }
+
+    #[test]
+    fn min_by_key_breaks_ties_deterministically() {
+        let v = vec![(3, 'a'), (1, 'b'), (1, 'c'), (2, 'd')];
+        assert_eq!(v.into_par_iter().min_by_key(|p| p.0), Some((1, 'b')));
+    }
+
+    #[test]
+    fn filters() {
+        let v: Vec<usize> = (0..1000).collect();
+        let evens: Vec<usize> = v
+            .par_iter()
+            .filter_map(|&x| (x % 2 == 0).then_some(x))
+            .collect();
+        assert_eq!(evens.len(), 500);
+        assert!(evens.windows(2).all(|w| w[0] < w[1]));
+    }
+}
