@@ -8,12 +8,82 @@
 //! experiments --smoke        # run the fast subset (CI smoke job)
 //! experiments fig1 stars …   # run selected experiments
 //! experiments --list         # list experiment ids
+//! experiments all --json BENCH_results.json
+//!                            # also write machine-readable results
 //! ```
+//!
+//! `--json <path>` writes per-experiment wall time and every shape
+//! assertion as JSON, so the perf trajectory is tracked across PRs
+//! (`BENCH_results.json` at the repo root is the committed baseline) and
+//! CI can diff the deterministic payload across thread counts.
 //!
 //! Exit code 0 iff every executed experiment's shape assertions held.
 
-use ksa_bench::{run_experiment, ALL_EXPERIMENTS, SMOKE_EXPERIMENTS};
+use ksa_bench::{run_experiment, ExperimentOutcome, ALL_EXPERIMENTS, SMOKE_EXPERIMENTS};
 use std::process::ExitCode;
+use std::time::Instant;
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the run as the `BENCH_results.json` document. Hand-rolled:
+/// the build environment has no serde; the shape is flat enough that
+/// string assembly is clearer than a vendored serializer.
+fn render_json(results: &[(ExperimentOutcome, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"ksa-bench-results/1\",\n");
+    out.push_str(&format!(
+        "  \"ksa_threads\": \"{}\",\n",
+        json_escape(&std::env::var("KSA_THREADS").unwrap_or_else(|_| "auto".into()))
+    ));
+    out.push_str("  \"experiments\": [\n");
+    for (i, (outcome, wall_ms)) in results.iter().enumerate() {
+        let checks_failed = outcome.checks.iter().filter(|(_, ok)| !ok).count();
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"id\": \"{}\",\n", json_escape(outcome.id)));
+        out.push_str(&format!("      \"passed\": {},\n", outcome.passed));
+        out.push_str(&format!("      \"wall_ms\": {wall_ms:.1},\n"));
+        out.push_str(&format!(
+            "      \"checks_passed\": {},\n",
+            outcome.checks.len() - checks_failed
+        ));
+        out.push_str(&format!("      \"checks_failed\": {checks_failed},\n"));
+        out.push_str("      \"checks\": [\n");
+        for (j, (what, ok)) in outcome.checks.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"what\": \"{}\", \"ok\": {}}}{}\n",
+                json_escape(what),
+                ok,
+                if j + 1 < outcome.checks.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,20 +93,42 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    let ids: Vec<&str> = if args.iter().any(|a| a == "--smoke") {
+
+    // Pull out `--json <path>` before interpreting the rest as ids.
+    let mut json_path: Option<String> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--json" {
+            match it.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json requires a path argument");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            selected.push(arg);
+        }
+    }
+
+    let ids: Vec<&str> = if selected.iter().any(|a| a == "--smoke") {
         SMOKE_EXPERIMENTS.to_vec()
-    } else if args.is_empty() || args.iter().any(|a| a == "all") {
+    } else if selected.is_empty() || selected.iter().any(|a| a == "all") {
         ALL_EXPERIMENTS.to_vec()
     } else {
-        args.iter().map(|s| s.as_str()).collect()
+        selected.iter().map(|s| s.as_str()).collect()
     };
 
     let mut all_ok = true;
+    let mut results: Vec<(ExperimentOutcome, f64)> = Vec::new();
     for id in ids {
+        let start = Instant::now();
         match run_experiment(id) {
             Ok(outcome) => {
+                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
                 println!("================================================================");
-                println!("experiment: {}", outcome.id);
+                println!("experiment: {} ({wall_ms:.0} ms)", outcome.id);
                 println!("================================================================");
                 println!("{}", outcome.report);
                 println!(
@@ -44,6 +136,7 @@ fn main() -> ExitCode {
                     if outcome.passed { "PASSED" } else { "FAILED" }
                 );
                 all_ok &= outcome.passed;
+                results.push((outcome, wall_ms));
             }
             Err(e) => {
                 eprintln!("experiment {id}: error: {e}");
@@ -51,6 +144,16 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, render_json(&results)) {
+            eprintln!("failed to write {path}: {e}");
+            all_ok = false;
+        } else {
+            println!("wrote {} experiment results to {path}", results.len());
+        }
+    }
+
     if all_ok {
         ExitCode::SUCCESS
     } else {

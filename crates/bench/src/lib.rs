@@ -16,6 +16,10 @@ pub struct ExperimentOutcome {
     pub report: String,
     /// Whether every shape assertion held.
     pub passed: bool,
+    /// Every shape assertion, in order: `(description, held)`. The
+    /// machine-readable mirror of the `[ok]`/`[FAIL]` report lines, used
+    /// by `experiments --json` (and the CI determinism diff).
+    pub checks: Vec<(String, bool)>,
 }
 
 impl ExperimentOutcome {
@@ -24,6 +28,7 @@ impl ExperimentOutcome {
             id,
             report: String::new(),
             passed: true,
+            checks: Vec::new(),
         }
     }
 
@@ -34,6 +39,7 @@ impl ExperimentOutcome {
 
     pub(crate) fn check(&mut self, what: &str, ok: bool) {
         self.line(format!("  [{}] {}", if ok { "ok" } else { "FAIL" }, what));
+        self.checks.push((what.to_string(), ok));
         self.passed &= ok;
     }
 }

@@ -25,6 +25,8 @@ pub enum CoreError {
         /// Human-readable domain.
         domain: &'static str,
     },
+    /// An exhaustive procedure would exceed its explicit budget.
+    Budget(crate::budget::BudgetExceeded),
 }
 
 impl fmt::Display for CoreError {
@@ -41,6 +43,7 @@ impl fmt::Display for CoreError {
                 value,
                 domain,
             } => write!(f, "parameter {name} = {value} outside {domain}"),
+            CoreError::Budget(e) => write!(f, "budget error: {e}"),
         }
     }
 }
@@ -51,6 +54,7 @@ impl Error for CoreError {
             CoreError::Graph(e) => Some(e),
             CoreError::Topology(e) => Some(e),
             CoreError::Model(e) => Some(e),
+            CoreError::Budget(e) => Some(e),
             _ => None,
         }
     }
@@ -71,6 +75,12 @@ impl From<ksa_topology::TopologyError> for CoreError {
 impl From<ksa_models::ModelError> for CoreError {
     fn from(e: ksa_models::ModelError) -> Self {
         CoreError::Model(e)
+    }
+}
+
+impl From<crate::budget::BudgetExceeded> for CoreError {
+    fn from(e: crate::budget::BudgetExceeded) -> Self {
+        CoreError::Budget(e)
     }
 }
 

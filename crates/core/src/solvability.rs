@@ -18,18 +18,34 @@
 //! and complete. This module enumerates it and runs a
 //! most-constrained-first backtracking search with forward checking.
 //!
+//! With the `parallel` feature the CSP is decided by a **portfolio
+//! search** on the `ksa-exec` work-stealing pool: the canonical
+//! most-constrained-first ordering explores its branch tree with
+//! work-stealing parallel DFS at the full node budget, while alternate
+//! variable/value orderings race the same instance under restart-doubled
+//! budget slices; the first strategy to complete (either verdict) cancels
+//! the rest through an atomic flag. `Solvable`/`Unsolvable` verdicts are
+//! intrinsic to the instance, so decided verdicts are identical at any
+//! thread count (only the synthesized witness map may differ — any
+//! witness returned is valid; and at the node-budget boundary the
+//! portfolio may decide an instance where the lone canonical strategy
+//! would report `Unknown`); [`decide_one_round_seq`] is the
+//! always-available sequential reference. The up-front [`RunBudget`] guard makes oversized
+//! instances fail fast instead of enumerating unbounded superset spaces.
+//!
 //! `Unsolvable` verdicts over the value range `{0, …, k}` imply general
 //! unsolvability (an adversary can always restrict inputs), making this an
 //! independent, non-topological check of Thm 5.4's impossibilities — see
 //! the `solv` experiment.
 
+use crate::budget::RunBudget;
 use crate::error::CoreError;
 use crate::task::Value;
+#[cfg(feature = "parallel")]
+use ksa_exec::prelude::*;
 use ksa_models::ClosedAboveModel;
 use ksa_models::ObliviousModel;
 use ksa_topology::interpretation::FlatView;
-#[cfg(feature = "parallel")]
-use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// How many input assignments each parallel batch spans. Batches are
@@ -184,24 +200,156 @@ impl crate::algorithms::ObliviousAlgorithm for DecisionMap {
     }
 }
 
-/// Decides one-round oblivious solvability of k-set agreement on `model`
-/// with inputs from `{0, …, value_max}`.
-///
-/// `exec_limit` bounds the number of enumerated executions and
-/// `node_budget` the backtracking nodes (exceeding the latter returns
-/// [`Solvability::Unknown`]).
-///
-/// # Errors
-///
-/// [`CoreError::BadParameter`] for `k = 0`; [`CoreError::Topology`]
-/// (budget) when the execution enumeration exceeds `exec_limit`.
-pub fn decide_one_round(
+/// The views and executions reachable from one input assignment of the
+/// one-round decider: every generator, every per-process superset choice
+/// (the odometer over "free bits" — processes not already heard).
+fn one_round_enumerate_input(
     model: &ClosedAboveModel,
-    k: usize,
-    value_max: usize,
+    n: usize,
+    inputs: &[Value],
+) -> LocalEnumeration {
+    let mut local_ids: HashMap<FlatView<Value>, u32> = HashMap::new();
+    let mut local_seen: std::collections::HashSet<Vec<u32>> = std::collections::HashSet::new();
+    let mut local = LocalEnumeration {
+        views: Vec::new(),
+        executions: Vec::new(),
+    };
+    for g in model.generators() {
+        // Per-process free bits (processes not already heard).
+        let bases: Vec<ksa_graphs::ProcSet> = (0..n).map(|p| g.in_set(p)).collect();
+        let frees: Vec<Vec<usize>> = bases
+            .iter()
+            .map(|b| b.complement(n).iter().collect())
+            .collect();
+        // Odometer over all per-process superset choices.
+        let mut choice: Vec<u64> = vec![0; n];
+        loop {
+            let mut exec: Vec<u32> = Vec::with_capacity(n);
+            for p in 0..n {
+                let mut senders = bases[p];
+                for (bit, &q) in frees[p].iter().enumerate() {
+                    if (choice[p] >> bit) & 1 == 1 {
+                        senders.insert(q);
+                    }
+                }
+                let view: FlatView<Value> = senders.iter().map(|q| (q, inputs[q])).collect();
+                let next_id = local.views.len() as u32;
+                let id = *local_ids.entry(view.clone()).or_insert_with(|| {
+                    local.views.push(view);
+                    next_id
+                });
+                exec.push(id);
+            }
+            exec.sort_unstable();
+            exec.dedup();
+            if local_seen.insert(exec.clone()) {
+                local.executions.push(exec);
+            }
+            // Advance the odometer.
+            let mut p = 0;
+            loop {
+                if p == n {
+                    break;
+                }
+                choice[p] += 1;
+                if choice[p] < (1u64 << frees[p].len()) {
+                    break;
+                }
+                choice[p] = 0;
+                p += 1;
+            }
+            if p == n {
+                break;
+            }
+        }
+    }
+    local
+}
+
+/// Merges every input assignment's local enumeration sequentially, in
+/// odometer order.
+fn merge_all_seq<F>(
+    n: usize,
+    values: Value,
     exec_limit: usize,
-    node_budget: usize,
-) -> Result<Solvability, CoreError> {
+    enumerate: F,
+) -> Result<EnumerationMerger, CoreError>
+where
+    F: Fn(&[Value]) -> LocalEnumeration,
+{
+    let mut merger = EnumerationMerger::new(exec_limit);
+    for inputs in input_assignments(n, values) {
+        merger.absorb(enumerate(&inputs))?;
+    }
+    Ok(merger)
+}
+
+/// Merges every input assignment's local enumeration, fanning the
+/// assignments out on the work-stealing pool in bounded batches. Local
+/// enumerations merge in odometer order, so the view and execution
+/// numbering is identical to [`merge_all_seq`].
+#[cfg(feature = "parallel")]
+fn merge_all<F>(
+    n: usize,
+    values: Value,
+    exec_limit: usize,
+    enumerate: F,
+) -> Result<EnumerationMerger, CoreError>
+where
+    F: Fn(&[Value]) -> LocalEnumeration + Sync,
+{
+    let mut merger = EnumerationMerger::new(exec_limit);
+    let mut assignments = input_assignments(n, values);
+    loop {
+        let batch: Vec<Vec<Value>> = assignments.by_ref().take(INPUT_BATCH).collect();
+        if batch.is_empty() {
+            break;
+        }
+        let locals: Vec<LocalEnumeration> =
+            batch.par_iter().map(|inputs| enumerate(inputs)).collect();
+        for local in locals {
+            merger.absorb(local)?;
+        }
+    }
+    Ok(merger)
+}
+
+#[cfg(not(feature = "parallel"))]
+fn merge_all<F>(
+    n: usize,
+    values: Value,
+    exec_limit: usize,
+    enumerate: F,
+) -> Result<EnumerationMerger, CoreError>
+where
+    F: Fn(&[Value]) -> LocalEnumeration + Sync,
+{
+    merge_all_seq(n, values, exec_limit, enumerate)
+}
+
+/// Upper bound on the raw superset-odometer space the one-round decider
+/// scans: `values^n` input assignments × `Σ_g 2^{free bits of g}`
+/// superset choices. This is what actually bounds the *work* (distinct
+/// executions after dedup can be far fewer), so it is what the
+/// [`RunBudget`] admits up front.
+fn one_round_raw_estimate(model: &ClosedAboveModel, n: usize, values: Value) -> u128 {
+    let inputs = (values as u128).checked_pow(n as u32).unwrap_or(u128::MAX);
+    let mut per_input: u128 = 0;
+    for g in model.generators() {
+        let free_bits: u32 = (0..n)
+            .map(|p| g.in_set(p).complement(n).iter().count() as u32)
+            .sum();
+        let supersets = if free_bits >= 127 {
+            u128::MAX
+        } else {
+            1u128 << free_bits
+        };
+        per_input = per_input.saturating_add(supersets);
+    }
+    inputs.saturating_mul(per_input)
+}
+
+fn validate_k(k: usize) -> Result<(), CoreError> {
     if k == 0 {
         return Err(CoreError::BadParameter {
             name: "k",
@@ -209,95 +357,87 @@ pub fn decide_one_round(
             domain: "[1, n]",
         });
     }
+    Ok(())
+}
+
+/// Decides one-round oblivious solvability of k-set agreement on `model`
+/// with inputs from `{0, …, value_max}`.
+///
+/// `exec_limit` is the [`RunBudget`] of the search: it bounds both the
+/// raw superset space scanned by the enumeration (checked **up front**,
+/// so oversized instances fail fast instead of running unbounded) and
+/// the number of distinct executions retained. `node_budget` bounds the
+/// backtracking nodes per search strategy (exceeding it returns
+/// [`Solvability::Unknown`]).
+///
+/// With the `parallel` feature the CSP runs as a racing portfolio on the
+/// work-stealing pool (see the module docs). Decided verdicts
+/// (`Solvable`/`Unsolvable`) are intrinsic to the instance and therefore
+/// identical to [`decide_one_round_seq`] at any thread count; at the
+/// `node_budget` boundary, however, the portfolio may decide an instance
+/// the sequential scan gives up on (it returns a verdict where the
+/// reference returns [`Solvability::Unknown`] — never a *different*
+/// decided verdict).
+///
+/// # Errors
+///
+/// [`CoreError::BadParameter`] for `k = 0`; [`CoreError::Budget`] when
+/// the superset space exceeds `exec_limit`; [`CoreError::Topology`]
+/// (budget) when the distinct-execution count exceeds `exec_limit`.
+pub fn decide_one_round(
+    model: &ClosedAboveModel,
+    k: usize,
+    value_max: usize,
+    exec_limit: usize,
+    node_budget: usize,
+) -> Result<Solvability, CoreError> {
+    validate_k(k)?;
     let n = model.n();
     let values = value_max as Value + 1;
-
-    // --- Enumerate reachable views and executions --------------------------
+    RunBudget::new(exec_limit as u128).admit(
+        "solvability superset enumeration",
+        one_round_raw_estimate(model, n, values),
+    )?;
     // The executions of one input assignment are independent of every
-    // other assignment's, so assignments are the parallel work unit;
-    // local enumerations merge in odometer order, making the view and
-    // execution numbering identical to the sequential scan.
-    let enumerate_input = |inputs: &[Value]| -> LocalEnumeration {
-        let mut local_ids: HashMap<FlatView<Value>, u32> = HashMap::new();
-        let mut local_seen: std::collections::HashSet<Vec<u32>> = std::collections::HashSet::new();
-        let mut local = LocalEnumeration {
-            views: Vec::new(),
-            executions: Vec::new(),
-        };
-        for g in model.generators() {
-            // Per-process free bits (processes not already heard).
-            let bases: Vec<ksa_graphs::ProcSet> = (0..n).map(|p| g.in_set(p)).collect();
-            let frees: Vec<Vec<usize>> = bases
-                .iter()
-                .map(|b| b.complement(n).iter().collect())
-                .collect();
-            // Odometer over all per-process superset choices.
-            let mut choice: Vec<u64> = vec![0; n];
-            loop {
-                let mut exec: Vec<u32> = Vec::with_capacity(n);
-                for p in 0..n {
-                    let mut senders = bases[p];
-                    for (bit, &q) in frees[p].iter().enumerate() {
-                        if (choice[p] >> bit) & 1 == 1 {
-                            senders.insert(q);
-                        }
-                    }
-                    let view: FlatView<Value> = senders.iter().map(|q| (q, inputs[q])).collect();
-                    let next_id = local.views.len() as u32;
-                    let id = *local_ids.entry(view.clone()).or_insert_with(|| {
-                        local.views.push(view);
-                        next_id
-                    });
-                    exec.push(id);
-                }
-                exec.sort_unstable();
-                exec.dedup();
-                if local_seen.insert(exec.clone()) {
-                    local.executions.push(exec);
-                }
-                // Advance the odometer.
-                let mut p = 0;
-                loop {
-                    if p == n {
-                        break;
-                    }
-                    choice[p] += 1;
-                    if choice[p] < (1u64 << frees[p].len()) {
-                        break;
-                    }
-                    choice[p] = 0;
-                    p += 1;
-                }
-                if p == n {
-                    break;
-                }
-            }
-        }
-        local
-    };
-
-    let mut merger = EnumerationMerger::new(exec_limit);
-    let mut assignments = input_assignments(n, values);
-    #[cfg(feature = "parallel")]
-    loop {
-        let batch: Vec<Vec<Value>> = assignments.by_ref().take(INPUT_BATCH).collect();
-        if batch.is_empty() {
-            break;
-        }
-        let locals: Vec<LocalEnumeration> = batch
-            .par_iter()
-            .map(|inputs| enumerate_input(inputs))
-            .collect();
-        for local in locals {
-            merger.absorb(local)?;
-        }
-    }
-    #[cfg(not(feature = "parallel"))]
-    for inputs in assignments.by_ref() {
-        merger.absorb(enumerate_input(&inputs))?;
-    }
-
+    // other assignment's, so assignments are the parallel work unit.
+    let merger = merge_all(n, values, exec_limit, |inputs: &[Value]| {
+        one_round_enumerate_input(model, n, inputs)
+    })?;
     solve_csp(merger.views, merger.executions, k, node_budget)
+}
+
+/// The sequential reference implementation of [`decide_one_round`]:
+/// single-threaded enumeration and the canonical most-constrained-first
+/// backtracking search, regardless of the `parallel` feature.
+///
+/// Exists so tests (and skeptical users) can cross-check that the
+/// portfolio search returns the same verdicts; it is also what the
+/// `parallel`-less build of [`decide_one_round`] effectively runs.
+///
+/// # Errors
+///
+/// Same conditions as [`decide_one_round`].
+pub fn decide_one_round_seq(
+    model: &ClosedAboveModel,
+    k: usize,
+    value_max: usize,
+    exec_limit: usize,
+    node_budget: usize,
+) -> Result<Solvability, CoreError> {
+    validate_k(k)?;
+    let n = model.n();
+    let values = value_max as Value + 1;
+    RunBudget::new(exec_limit as u128).admit(
+        "solvability superset enumeration",
+        one_round_raw_estimate(model, n, values),
+    )?;
+    let merger = merge_all_seq(n, values, exec_limit, |inputs: &[Value]| {
+        one_round_enumerate_input(model, n, inputs)
+    })?;
+    solve_csp_seq(
+        CspInstance::new(merger.views, merger.executions, k),
+        node_budget,
+    )
 }
 
 #[cfg(test)]
@@ -412,6 +552,47 @@ mod tests {
         // Tiny execution budget trips the guard.
         assert!(decide_one_round(&m, 2, 2, 1, NODES).is_err());
     }
+
+    #[test]
+    fn oversized_instance_fails_fast() {
+        // n = 6 star unions: the raw superset odometer is ~2^25 choices
+        // per graph × 64 inputs — far past any reasonable exec budget.
+        // The up-front RunBudget admit must reject it immediately
+        // (previously the enumeration scanned the whole raw space and
+        // only the distinct-execution limit could stop it, maybe never).
+        let m = named::star_unions(6, 1).unwrap();
+        let err = decide_one_round(&m, 2, 1, 100_000, NODES).unwrap_err();
+        assert!(matches!(err, crate::CoreError::Budget(_)), "{err:?}");
+        // The sequential reference enforces the same guard.
+        assert!(decide_one_round_seq(&m, 2, 1, 100_000, NODES).is_err());
+    }
+
+    #[test]
+    fn portfolio_agrees_with_sequential_reference() {
+        // The racing portfolio must return bit-identical verdicts to the
+        // sequential most-constrained-first scan on the whole small zoo.
+        // One solvable and one unsolvable case from two different model
+        // families (the randomized breadth lives in the
+        // `solvability_parallel` proptest suite).
+        for (model, k) in [
+            (named::star_unions(3, 1).unwrap(), 2),
+            (named::star_unions(3, 1).unwrap(), 3),
+            (named::symmetric_ring(3).unwrap(), 1),
+            (named::simple_ring(3).unwrap(), 2),
+        ] {
+            let par = decide_one_round(&model, k, k, EXECS, NODES).unwrap();
+            let seq = decide_one_round_seq(&model, k, k, EXECS, NODES).unwrap();
+            assert_eq!(
+                std::mem::discriminant(&par),
+                std::mem::discriminant(&seq),
+                "verdicts diverge at k = {k}"
+            );
+            // Either witness must cover the same reachable views.
+            if let (Solvability::Solvable(a), Solvability::Solvable(b)) = (&par, &seq) {
+                assert_eq!(a.len(), b.len());
+            }
+        }
+    }
 }
 
 /// Multi-round exact solvability over an **explicit** graph set: the model
@@ -424,8 +605,9 @@ mod tests {
 /// # Errors
 ///
 /// [`CoreError::BadParameter`] for zero `k`/`r`/empty graphs;
-/// [`CoreError::Topology`] (budget) when the schedule × input space
-/// exceeds `exec_limit`.
+/// [`CoreError::Budget`] when the schedule × input space exceeds
+/// `exec_limit`; [`CoreError::Topology`] (budget) when the
+/// distinct-execution count exceeds it.
 pub fn decide_rounds_explicit(
     graphs: &[ksa_graphs::Digraph],
     k: usize,
@@ -447,13 +629,10 @@ pub fn decide_rounds_explicit(
         .checked_pow(rounds as u32)
         .unwrap_or(u128::MAX);
     let inputs_count = (values as u128).checked_pow(n as u32).unwrap_or(u128::MAX);
-    if schedules.saturating_mul(inputs_count) > exec_limit as u128 {
-        return Err(CoreError::Topology(ksa_topology::TopologyError::TooLarge {
-            what: "multi-round solvability executions",
-            estimated: schedules.saturating_mul(inputs_count),
-            limit: exec_limit as u128,
-        }));
-    }
+    RunBudget::new(exec_limit as u128).admit(
+        "multi-round solvability executions",
+        schedules.saturating_mul(inputs_count),
+    )?;
 
     // Precompute the product graph of every schedule (who heard whom after
     // r rounds), deduplicated — flat views only depend on the product.
@@ -517,99 +696,171 @@ pub fn decide_rounds_explicit(
     // The enumeration is within `exec_limit` (checked above), so the
     // merger's limit only needs to catch the distinct-execution
     // overflow, like the sequential scan (which never errored here).
-    let mut merger = EnumerationMerger::new(exec_limit);
-    let mut assignments = input_assignments(n, values);
-    #[cfg(feature = "parallel")]
-    loop {
-        let batch: Vec<Vec<Value>> = assignments.by_ref().take(INPUT_BATCH).collect();
-        if batch.is_empty() {
-            break;
-        }
-        let locals: Vec<LocalEnumeration> = batch
-            .par_iter()
-            .map(|inputs| enumerate_input(inputs))
-            .collect();
-        for local in locals {
-            merger.absorb(local)?;
-        }
-    }
-    #[cfg(not(feature = "parallel"))]
-    for inputs in assignments.by_ref() {
-        merger.absorb(enumerate_input(&inputs))?;
-    }
+    let merger = merge_all(n, values, exec_limit, enumerate_input)?;
     solve_csp(merger.views, merger.executions, k, node_budget)
 }
 
-/// Shared CSP core for the one-round and multi-round deciders.
+// --- The CSP core ----------------------------------------------------------
+
+/// A preprocessed solvability CSP: one variable per reachable view, its
+/// domain the values heard in that view, one ≤-k-distinct constraint per
+/// execution. Shared by the sequential and portfolio searches.
+struct CspInstance {
+    views: Vec<FlatView<Value>>,
+    /// Per-view candidate decisions (heard values, sorted ascending).
+    candidates: Vec<Vec<Value>>,
+    /// For each view, the executions watching it.
+    exec_of_view: Vec<Vec<u32>>,
+    executions: Vec<Vec<u32>>,
+    k: usize,
+}
+
+impl CspInstance {
+    fn new(views: Vec<FlatView<Value>>, executions: Vec<Vec<u32>>, k: usize) -> Self {
+        let candidates: Vec<Vec<Value>> = views
+            .iter()
+            .map(|v| {
+                let mut vals: Vec<Value> = v.iter().map(|&(_, val)| val).collect();
+                vals.sort_unstable();
+                vals.dedup();
+                vals
+            })
+            .collect();
+        let mut exec_of_view: Vec<Vec<u32>> = vec![Vec::new(); views.len()];
+        for (ei, e) in executions.iter().enumerate() {
+            for &v in e {
+                exec_of_view[v as usize].push(ei as u32);
+            }
+        }
+        CspInstance {
+            views,
+            candidates,
+            exec_of_view,
+            executions,
+            k,
+        }
+    }
+
+    /// The canonical variable ordering: fewest candidates first
+    /// (most-constrained), most-watched first on ties. Identical to the
+    /// historical sequential scan.
+    fn order_most_constrained(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.views.len()).collect();
+        order.sort_by_key(|&v| {
+            (
+                self.candidates[v].len(),
+                std::cmp::Reverse(self.exec_of_view[v].len()),
+            )
+        });
+        order
+    }
+
+    /// Most-watched views first (maximum constraint degree), candidate
+    /// count on ties — fails fast on models whose conflicts concentrate
+    /// in a few executions.
+    #[cfg(feature = "parallel")]
+    fn order_max_degree(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.views.len()).collect();
+        order.sort_by_key(|&v| {
+            (
+                std::cmp::Reverse(self.exec_of_view[v].len()),
+                self.candidates[v].len(),
+            )
+        });
+        order
+    }
+
+    /// Enumeration (view-id) order — the cheap "no heuristic" control
+    /// that occasionally wins on near-symmetric instances.
+    #[cfg(feature = "parallel")]
+    fn order_natural(&self) -> Vec<usize> {
+        (0..self.views.len()).collect()
+    }
+
+    /// Packages a complete assignment as the `Solvable` witness.
+    fn into_solvable(self, assignment: Vec<Option<Value>>) -> Solvability {
+        let mut entries: Vec<(FlatView<Value>, Value)> = self
+            .views
+            .into_iter()
+            .zip(assignment)
+            .map(|(v, a)| (v, a.expect("complete assignment")))
+            .collect();
+        entries.sort();
+        Solvability::Solvable(DecisionMap { entries })
+    }
+}
+
+/// Whether execution `e` can still see ≤ k distinct decisions: the
+/// assigned views must not exceed k values already, and once k values
+/// are reached every unassigned view of `e` must be able to repeat one.
+fn exec_ok(e: &[u32], assignment: &[Option<Value>], candidates: &[Vec<Value>], k: usize) -> bool {
+    let mut seen: Vec<Value> = Vec::with_capacity(k + 1);
+    let mut unassigned: Vec<u32> = Vec::new();
+    for &v in e {
+        match assignment[v as usize] {
+            Some(val) => {
+                if !seen.contains(&val) {
+                    seen.push(val);
+                }
+            }
+            None => unassigned.push(v),
+        }
+    }
+    if seen.len() > k {
+        return false;
+    }
+    if seen.len() == k {
+        for v in unassigned {
+            if !candidates[v as usize].iter().any(|c| seen.contains(c)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether assigning view `v` (already written into `assignment`) keeps
+/// every execution watching `v` satisfiable.
+fn view_consistent(csp: &CspInstance, v: usize, assignment: &[Option<Value>]) -> bool {
+    csp.exec_of_view[v].iter().all(|&ei| {
+        exec_ok(
+            &csp.executions[ei as usize],
+            assignment,
+            &csp.candidates,
+            csp.k,
+        )
+    })
+}
+
+/// Dispatches between the portfolio search (`parallel`) and the
+/// sequential reference.
 fn solve_csp(
     views: Vec<FlatView<Value>>,
     executions: Vec<Vec<u32>>,
     k: usize,
     node_budget: usize,
 ) -> Result<Solvability, CoreError> {
-    let candidates: Vec<Vec<Value>> = views
-        .iter()
-        .map(|v| {
-            let mut vals: Vec<Value> = v.iter().map(|&(_, val)| val).collect();
-            vals.sort_unstable();
-            vals.dedup();
-            vals
-        })
-        .collect();
-    let mut exec_of_view: Vec<Vec<u32>> = vec![Vec::new(); views.len()];
-    for (ei, e) in executions.iter().enumerate() {
-        for &v in e {
-            exec_of_view[v as usize].push(ei as u32);
-        }
+    let instance = CspInstance::new(views, executions, k);
+    #[cfg(feature = "parallel")]
+    {
+        solve_csp_portfolio(instance, node_budget)
     }
-    let mut order: Vec<usize> = (0..views.len()).collect();
-    order.sort_by_key(|&v| {
-        (
-            candidates[v].len(),
-            std::cmp::Reverse(exec_of_view[v].len()),
-        )
-    });
-
-    fn exec_ok(
-        e: &[u32],
-        assignment: &[Option<Value>],
-        candidates: &[Vec<Value>],
-        k: usize,
-    ) -> bool {
-        let mut seen: Vec<Value> = Vec::with_capacity(k + 1);
-        let mut unassigned: Vec<u32> = Vec::new();
-        for &v in e {
-            match assignment[v as usize] {
-                Some(val) => {
-                    if !seen.contains(&val) {
-                        seen.push(val);
-                    }
-                }
-                None => unassigned.push(v),
-            }
-        }
-        if seen.len() > k {
-            return false;
-        }
-        if seen.len() == k {
-            for v in unassigned {
-                if !candidates[v as usize].iter().any(|c| seen.contains(c)) {
-                    return false;
-                }
-            }
-        }
-        true
+    #[cfg(not(feature = "parallel"))]
+    {
+        solve_csp_seq(instance, node_budget)
     }
+}
 
-    #[allow(clippy::too_many_arguments)]
+/// The sequential most-constrained-first backtracking search (the
+/// deterministic reference semantics).
+fn solve_csp_seq(instance: CspInstance, node_budget: usize) -> Result<Solvability, CoreError> {
+    let order = instance.order_most_constrained();
+
     fn dfs(
-        depth: usize,
+        csp: &CspInstance,
         order: &[usize],
+        depth: usize,
         assignment: &mut Vec<Option<Value>>,
-        candidates: &[Vec<Value>],
-        exec_of_view: &[Vec<u32>],
-        executions: &[Vec<u32>],
-        k: usize,
         nodes: &mut usize,
         budget: usize,
     ) -> Option<bool> {
@@ -621,23 +872,11 @@ fn solve_csp(
             return None;
         }
         let v = order[depth];
-        for &val in &candidates[v] {
+        for i in 0..csp.candidates[v].len() {
+            let val = csp.candidates[v][i];
             assignment[v] = Some(val);
-            let consistent = exec_of_view[v]
-                .iter()
-                .all(|&ei| exec_ok(&executions[ei as usize], assignment, candidates, k));
-            if consistent {
-                match dfs(
-                    depth + 1,
-                    order,
-                    assignment,
-                    candidates,
-                    exec_of_view,
-                    executions,
-                    k,
-                    nodes,
-                    budget,
-                ) {
+            if view_consistent(csp, v, assignment) {
+                match dfs(csp, order, depth + 1, assignment, nodes, budget) {
                     Some(true) => return Some(true),
                     Some(false) => {}
                     None => {
@@ -651,29 +890,337 @@ fn solve_csp(
         Some(false)
     }
 
-    let mut assignment: Vec<Option<Value>> = vec![None; views.len()];
+    let mut assignment: Vec<Option<Value>> = vec![None; instance.views.len()];
     let mut nodes = 0usize;
     match dfs(
-        0,
+        &instance,
         &order,
+        0,
         &mut assignment,
-        &candidates,
-        &exec_of_view,
-        &executions,
-        k,
         &mut nodes,
         node_budget,
     ) {
         None => Ok(Solvability::Unknown),
         Some(false) => Ok(Solvability::Unsolvable),
-        Some(true) => {
-            let mut entries: Vec<(FlatView<Value>, Value)> = views
-                .into_iter()
-                .zip(assignment)
-                .map(|(v, a)| (v, a.expect("complete assignment")))
-                .collect();
-            entries.sort();
-            Ok(Solvability::Solvable(DecisionMap { entries }))
+        Some(true) => Ok(instance.into_solvable(assignment)),
+    }
+}
+
+// --- The portfolio search (parallel) ---------------------------------------
+
+/// Outcome of one (sub)tree exploration in the portfolio search.
+#[cfg(feature = "parallel")]
+enum Branch {
+    /// A complete consistent assignment (the decision-map witness).
+    Solved(Vec<Option<Value>>),
+    /// The subtree holds no solution.
+    Exhausted,
+    /// The strategy's node budget ran out first.
+    OutOfBudget,
+    /// Another strategy (or a sibling's success) cancelled this search.
+    Cancelled,
+}
+
+/// Per-strategy search context: the instance, this strategy's orderings,
+/// the cancellation plumbing and its node budget.
+#[cfg(feature = "parallel")]
+struct StratCtx<'a> {
+    csp: &'a CspInstance,
+    order: &'a [usize],
+    reverse_values: bool,
+    /// Depths below this explore candidate values as parallel subtree
+    /// tasks (work-stealing DFS); deeper levels run sequentially.
+    split_depth: usize,
+    /// Portfolio-wide first-success/first-verdict cancellation.
+    cancel: &'a std::sync::atomic::AtomicBool,
+    /// This strategy found a solution — prunes its sibling subtrees.
+    found: &'a std::sync::atomic::AtomicBool,
+    /// Shared node counter (flushed in batches from task-local counts).
+    nodes: &'a std::sync::atomic::AtomicUsize,
+    budget: usize,
+}
+
+#[cfg(feature = "parallel")]
+impl StratCtx<'_> {
+    fn cancelled(&self) -> bool {
+        use std::sync::atomic::Ordering;
+        self.cancel.load(Ordering::Relaxed) || self.found.load(Ordering::Relaxed)
+    }
+
+    /// Counts one node; returns `true` when the strategy is over budget.
+    /// Task-local counts flush to the shared counter in batches, so the
+    /// budget is enforced within ±(tasks × 1024) nodes of the limit —
+    /// callers near that boundary should expect `Unknown` verdicts to be
+    /// scheduling-dependent (the `Solvable`/`Unsolvable` verdicts never
+    /// are).
+    fn tick(&self, local: &mut usize) -> bool {
+        use std::sync::atomic::Ordering;
+        *local += 1;
+        if *local >= 1024 {
+            self.nodes.fetch_add(*local, Ordering::Relaxed);
+            *local = 0;
+        }
+        self.nodes.load(Ordering::Relaxed) + *local > self.budget
+    }
+
+    /// The `i`-th candidate value of view `v` in this strategy's
+    /// iteration direction (allocation-free: called once per node).
+    fn value_at(&self, v: usize, i: usize) -> Value {
+        let vals = &self.csp.candidates[v];
+        if self.reverse_values {
+            vals[vals.len() - 1 - i]
+        } else {
+            vals[i]
+        }
+    }
+}
+
+/// Work-stealing DFS over the branch tree of one strategy: shallow
+/// depths fan candidate values out as stealable subtree tasks, deeper
+/// levels backtrack sequentially with undo.
+#[cfg(feature = "parallel")]
+fn pdfs(
+    ctx: &StratCtx<'_>,
+    depth: usize,
+    assignment: &mut Vec<Option<Value>>,
+    local: &mut usize,
+) -> Branch {
+    use std::sync::atomic::Ordering;
+    if ctx.cancelled() {
+        return Branch::Cancelled;
+    }
+    if depth == ctx.order.len() {
+        // Prune sibling subtrees of this strategy immediately.
+        ctx.found.store(true, Ordering::Relaxed);
+        return Branch::Solved(assignment.clone());
+    }
+    if ctx.tick(local) {
+        return Branch::OutOfBudget;
+    }
+    let v = ctx.order[depth];
+    let arity = ctx.csp.candidates[v].len();
+
+    if depth < ctx.split_depth && arity > 1 {
+        // Fork: one independent assignment snapshot per viable value.
+        let mut branches: Vec<Vec<Option<Value>>> = Vec::with_capacity(arity);
+        for i in 0..arity {
+            assignment[v] = Some(ctx.value_at(v, i));
+            if view_consistent(ctx.csp, v, assignment) {
+                branches.push(assignment.clone());
+            }
+            assignment[v] = None;
+        }
+        return par_branches(ctx, depth, branches);
+    }
+
+    for i in 0..arity {
+        assignment[v] = Some(ctx.value_at(v, i));
+        if view_consistent(ctx.csp, v, assignment) {
+            match pdfs(ctx, depth + 1, assignment, local) {
+                Branch::Exhausted => {}
+                done => {
+                    assignment[v] = None;
+                    return done;
+                }
+            }
+        }
+        assignment[v] = None;
+    }
+    Branch::Exhausted
+}
+
+/// Explores the viable value-branches of one split node, recursively
+/// halving them across `ksa_exec::join` so idle workers steal the
+/// larger half.
+#[cfg(feature = "parallel")]
+fn par_branches(ctx: &StratCtx<'_>, depth: usize, mut branches: Vec<Vec<Option<Value>>>) -> Branch {
+    use std::sync::atomic::Ordering;
+    match branches.len() {
+        0 => Branch::Exhausted,
+        1 => {
+            let mut assignment = branches.pop().expect("one branch");
+            let mut local = 0usize;
+            let out = pdfs(ctx, depth + 1, &mut assignment, &mut local);
+            ctx.nodes.fetch_add(local, Ordering::Relaxed);
+            out
+        }
+        _ => {
+            let right = branches.split_off(branches.len() / 2);
+            let (left_out, right_out) = ksa_exec::join(
+                || par_branches(ctx, depth, branches),
+                || par_branches(ctx, depth, right),
+            );
+            // Any Solved wins (all verdicts agree on solvability, so
+            // preferring the left one only stabilizes the witness);
+            // OutOfBudget taints the subtree, Cancelled propagates.
+            match (left_out, right_out) {
+                (Branch::Solved(s), _) | (_, Branch::Solved(s)) => Branch::Solved(s),
+                (Branch::OutOfBudget, _) | (_, Branch::OutOfBudget) => Branch::OutOfBudget,
+                (Branch::Cancelled, _) | (_, Branch::Cancelled) => Branch::Cancelled,
+                (Branch::Exhausted, Branch::Exhausted) => Branch::Exhausted,
+            }
+        }
+    }
+}
+
+/// A portfolio member: a variable ordering plus a value-iteration
+/// direction.
+#[cfg(feature = "parallel")]
+struct Strategy {
+    order: Vec<usize>,
+    reverse_values: bool,
+}
+
+/// The racing portfolio search.
+///
+/// The **canonical** strategy (most-constrained-first — the sequential
+/// reference ordering) explores its branch tree with work-stealing
+/// parallel DFS at the full node budget. The **alternate** orderings
+/// race the same instance as cheap sequential probes under
+/// restart-doubled budget slices — if one of them gets lucky it wins
+/// outright; if not, it exhausts its slice quickly and its worker goes
+/// back to stealing canonical subtrees. The first strategy to complete
+/// sets the cancellation flag; everyone else stops at their next node.
+///
+/// `Solvable`/`Unsolvable` are intrinsic to the instance, so whichever
+/// strategy finishes first yields the same verdict — bit-identical at
+/// any thread count. `Unknown` means the canonical strategy ran out of
+/// its full `node_budget` with no alternate finishing either.
+#[cfg(feature = "parallel")]
+fn solve_csp_portfolio(
+    instance: CspInstance,
+    node_budget: usize,
+) -> Result<Solvability, CoreError> {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let threads = ksa_exec::current_num_threads();
+    let split_depth = if threads <= 1 {
+        // One worker: skip forking entirely — node accounting then
+        // matches the sequential reference exactly.
+        0
+    } else {
+        (usize::BITS - threads.leading_zeros()) as usize + 2
+    };
+
+    let canonical = Strategy {
+        order: instance.order_most_constrained(),
+        reverse_values: false,
+    };
+    let alternates = [
+        Strategy {
+            order: instance.order_max_degree(),
+            reverse_values: false,
+        },
+        Strategy {
+            order: instance.order_most_constrained(),
+            reverse_values: true,
+        },
+        Strategy {
+            order: instance.order_natural(),
+            reverse_values: false,
+        },
+    ];
+
+    let cancel = AtomicBool::new(false);
+    let canonical_out_of_budget = AtomicBool::new(false);
+    let winner: Mutex<Option<Branch>> = Mutex::new(None);
+    let csp = &instance;
+    let report = |result: Branch| {
+        let mut slot = winner.lock().expect("winner slot poisoned");
+        if slot.is_none() {
+            *slot = Some(result);
+            cancel.store(true, Ordering::SeqCst);
+        }
+    };
+
+    ksa_exec::scope(|s| {
+        // Spawn order matters at low thread counts: the scope's worker
+        // pops its deque LIFO while thieves steal FIFO. Canonical is
+        // pushed first (stolen immediately by the first idle worker);
+        // the alternates are pushed after, in reverse preference order,
+        // so a lone worker runs the cheap bounded probes *before*
+        // committing to the full canonical search — on instances where
+        // an alternate ordering collapses the proof (empirically: the
+        // whole `solv` zoo), even a single-threaded run wins big, at
+        // the cost of a few bounded probe ladders when none does.
+        {
+            let (cancel, report, canonical_oob, canonical) =
+                (&cancel, &report, &canonical_out_of_budget, &canonical);
+            s.spawn(move |_| {
+                let found = AtomicBool::new(false);
+                let nodes = AtomicUsize::new(0);
+                let ctx = StratCtx {
+                    csp,
+                    order: &canonical.order,
+                    reverse_values: canonical.reverse_values,
+                    split_depth,
+                    cancel,
+                    found: &found,
+                    nodes: &nodes,
+                    budget: node_budget,
+                };
+                let mut assignment = vec![None; csp.views.len()];
+                let mut local = 0usize;
+                match pdfs(&ctx, 0, &mut assignment, &mut local) {
+                    done @ (Branch::Solved(_) | Branch::Exhausted) => report(done),
+                    Branch::OutOfBudget => canonical_oob.store(true, Ordering::SeqCst),
+                    Branch::Cancelled => {}
+                }
+            });
+        }
+        for strategy in alternates.iter().rev() {
+            let (cancel, report) = (&cancel, &report);
+            s.spawn(move |_| {
+                // Restart-doubled budget slices, capped well below the
+                // full budget: a probe either wins early or gets out of
+                // the way.
+                let mut slice = 1usize << 14;
+                loop {
+                    if cancel.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let found = AtomicBool::new(false);
+                    let nodes = AtomicUsize::new(0);
+                    let ctx = StratCtx {
+                        csp,
+                        order: &strategy.order,
+                        reverse_values: strategy.reverse_values,
+                        split_depth: 0,
+                        cancel,
+                        found: &found,
+                        nodes: &nodes,
+                        budget: slice,
+                    };
+                    let mut assignment = vec![None; csp.views.len()];
+                    let mut local = 0usize;
+                    match pdfs(&ctx, 0, &mut assignment, &mut local) {
+                        done @ (Branch::Solved(_) | Branch::Exhausted) => {
+                            report(done);
+                            break;
+                        }
+                        Branch::Cancelled => break,
+                        Branch::OutOfBudget => {
+                            if slice > node_budget / 8 {
+                                break;
+                            }
+                            slice *= 8;
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    match winner.into_inner().expect("winner slot poisoned") {
+        Some(Branch::Solved(assignment)) => Ok(instance.into_solvable(assignment)),
+        Some(Branch::Exhausted) => Ok(Solvability::Unsolvable),
+        Some(Branch::OutOfBudget | Branch::Cancelled) => {
+            unreachable!("only completed strategies report")
+        }
+        None => {
+            debug_assert!(canonical_out_of_budget.load(std::sync::atomic::Ordering::SeqCst));
+            Ok(Solvability::Unknown)
         }
     }
 }

@@ -1,0 +1,209 @@
+//! A Chase–Lev work-stealing deque of [`JobRef`]s.
+//!
+//! One worker owns each deque: it pushes and pops at the *bottom* in LIFO
+//! order (newest first — the cache-hot subtree of a recursive split),
+//! while thieves take from the *top* in FIFO order (oldest first — the
+//! biggest remaining subtree, which minimizes steal traffic). The
+//! implementation follows the C11 formulation of Lê, Pop, Cohen &
+//! Zappa Nardelli, *Correct and Efficient Work-Stealing for Weak Memory
+//! Models* (PPoPP 2013): a growable circular buffer, `top`/`bottom`
+//! indices, and a single CAS on `top` arbitrating the last-element race
+//! between the owner and a thief.
+//!
+//! Buffer growth never frees the old buffer while the deque lives — a
+//! thief may still be reading a slot of it — so retired buffers are
+//! parked in a side list and reclaimed when the deque drops. A deque
+//! holds at most `O(log capacity)` retired buffers totalling less than
+//! its current buffer's size, so this "leak" is bounded and tiny.
+
+use crate::job::JobRef;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::Mutex;
+
+/// Initial circular-buffer capacity (power of two).
+const INITIAL_CAPACITY: usize = 64;
+
+/// Outcome of a steal attempt.
+pub(crate) enum Steal {
+    /// The deque had no stealable job.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+    /// Successfully stole a job.
+    Success(JobRef),
+}
+
+/// A growable circular buffer of job slots.
+struct Buffer {
+    capacity: usize,
+    slots: Box<[UnsafeCell<MaybeUninit<JobRef>>]>,
+}
+
+impl Buffer {
+    fn alloc(capacity: usize) -> Box<Buffer> {
+        debug_assert!(capacity.is_power_of_two());
+        let slots = (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Box::new(Buffer { capacity, slots })
+    }
+
+    /// Reads the slot for logical index `i`.
+    ///
+    /// # Safety
+    ///
+    /// The Chase–Lev protocol must guarantee the slot was written (the
+    /// caller observed `top ≤ i < bottom`).
+    unsafe fn read(&self, i: isize) -> JobRef {
+        let slot = &self.slots[(i as usize) & (self.capacity - 1)];
+        (*slot.get()).assume_init()
+    }
+
+    /// Writes the slot for logical index `i` (owner only).
+    ///
+    /// # Safety
+    ///
+    /// Only the owner may write, and only at index `bottom` with
+    /// `bottom − top < capacity` (so no thief can be reading the slot).
+    unsafe fn write(&self, i: isize, job: JobRef) {
+        let slot = &self.slots[(i as usize) & (self.capacity - 1)];
+        *slot.get() = MaybeUninit::new(job);
+    }
+}
+
+/// The work-stealing deque. `push`/`pop` are owner-only; `steal` is free
+/// for all.
+pub(crate) struct Deque {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    buffer: AtomicPtr<Buffer>,
+    /// Old buffers kept alive until the deque drops (thieves may hold
+    /// stale buffer pointers across a steal). The boxing is the point:
+    /// each retired `Buffer` must stay at the exact heap address the
+    /// thieves' raw pointers reference, so it cannot be moved into the
+    /// `Vec`'s own storage.
+    #[allow(clippy::vec_box)]
+    retired: Mutex<Vec<Box<Buffer>>>,
+}
+
+// Shared across worker threads; soundness comes from the owner-only
+// contract on push/pop plus the protocol's CAS arbitration.
+unsafe impl Send for Deque {}
+unsafe impl Sync for Deque {}
+
+impl Deque {
+    pub(crate) fn new() -> Self {
+        Deque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buffer: AtomicPtr::new(Box::into_raw(Buffer::alloc(INITIAL_CAPACITY))),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Pushes a job at the bottom.
+    ///
+    /// # Safety
+    ///
+    /// Owner-only: must be called from the worker thread owning this
+    /// deque.
+    pub(crate) unsafe fn push(&self, job: JobRef) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        let mut buf = self.buffer.load(Ordering::Relaxed);
+        if b - t >= (*buf).capacity as isize {
+            buf = self.grow(buf, t, b);
+        }
+        (*buf).write(b, job);
+        fence(Ordering::Release);
+        self.bottom.store(b + 1, Ordering::Relaxed);
+    }
+
+    /// Pops the most recently pushed job, if any.
+    ///
+    /// # Safety
+    ///
+    /// Owner-only: must be called from the worker thread owning this
+    /// deque.
+    pub(crate) unsafe fn pop(&self) -> Option<JobRef> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        let buf = self.buffer.load(Ordering::Relaxed);
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let job = (*buf).read(b);
+            if t == b {
+                // Last element: race a thief for it via the CAS on top.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                won.then_some(job)
+            } else {
+                Some(job)
+            }
+        } else {
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Attempts to steal the oldest job. Callable from any thread.
+    pub(crate) fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            let buf = self.buffer.load(Ordering::Acquire);
+            // Read before the CAS: the retired-buffer list keeps the
+            // memory valid even if the owner grows concurrently, and the
+            // CAS decides whether the read value is ours.
+            let job = unsafe { (*buf).read(t) };
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                return Steal::Retry;
+            }
+            Steal::Success(job)
+        } else {
+            Steal::Empty
+        }
+    }
+
+    /// Doubles the buffer, copying live slots; retires the old buffer.
+    ///
+    /// # Safety
+    ///
+    /// Owner-only, with `t`/`b` the current top/bottom.
+    unsafe fn grow(&self, old: *mut Buffer, t: isize, b: isize) -> *mut Buffer {
+        let new = Buffer::alloc((*old).capacity * 2);
+        for i in t..b {
+            new.write(i, (*old).read(i));
+        }
+        let new_ptr = Box::into_raw(new);
+        self.buffer.store(new_ptr, Ordering::Release);
+        self.retired
+            .lock()
+            .expect("retired list poisoned")
+            .push(Box::from_raw(old));
+        new_ptr
+    }
+}
+
+impl Drop for Deque {
+    fn drop(&mut self) {
+        // Reclaim the live buffer; `retired` drops itself. Any JobRefs
+        // still queued are plain pointers — their owners are responsible
+        // for them (the pool drains all work before dropping deques).
+        unsafe {
+            drop(Box::from_raw(self.buffer.load(Ordering::Relaxed)));
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! The thread pool: a registry of workers, each owning a Chase–Lev
+//! deque, plus a mutex-protected injector for work arriving from outside
+//! the pool.
+//!
+//! Scheduling discipline: a worker prefers its own deque (LIFO — depth
+//! first through its own splits), then the injector (externally submitted
+//! roots), then stealing the *oldest* job from a sibling (FIFO — the
+//! largest available subtree). Idle workers park on a condvar with a
+//! short timeout; every push wakes sleepers, and the timeout bounds the
+//! cost of any lost-wakeup race instead of complicating the protocol.
+
+use crate::job::{HeapJob, JobRef, LockLatch, StackJob};
+use crate::{deque::Deque, deque::Steal};
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Distinguishes registries so a thread can tell which pool it belongs
+/// to (pools are rare; ids never wrap in practice).
+static NEXT_REGISTRY_ID: AtomicUsize = AtomicUsize::new(1);
+
+thread_local! {
+    /// `(registry id, worker index, registry pointer)` of the pool this
+    /// thread works for, if any. The pointer stays valid for the whole
+    /// worker lifetime (the worker holds an `Arc` to its registry).
+    static WORKER: Cell<Option<(usize, usize, *const Registry)>> = const { Cell::new(None) };
+}
+
+/// Shared state of one pool.
+pub(crate) struct Registry {
+    id: usize,
+    deques: Vec<Deque>,
+    injector: Mutex<VecDeque<JobRef>>,
+    sleep_mutex: Mutex<()>,
+    sleep_cv: Condvar,
+    sleepers: AtomicUsize,
+    terminate: AtomicBool,
+}
+
+impl Registry {
+    /// The worker index of the current thread in *this* registry.
+    pub(crate) fn current_worker(&self) -> Option<usize> {
+        WORKER.with(|w| match w.get() {
+            Some((id, index, _)) if id == self.id => Some(index),
+            _ => None,
+        })
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Whether any worker is currently parked (used by the adaptive
+    /// splitter: idle workers mean splitting finer pays off).
+    pub(crate) fn has_sleepers(&self) -> bool {
+        self.sleepers.load(Ordering::Relaxed) > 0
+    }
+
+    /// Pushes onto the calling worker's own deque.
+    ///
+    /// # Safety
+    ///
+    /// `index` must be the calling thread's own worker index in this
+    /// registry.
+    pub(crate) unsafe fn push_local(&self, index: usize, job: JobRef) {
+        self.deques[index].push(job);
+        self.wake();
+    }
+
+    /// Submits a job from outside (or from a worker, when it has no
+    /// deque slot of its own to use).
+    pub(crate) fn inject(&self, job: JobRef) {
+        self.injector
+            .lock()
+            .expect("injector poisoned")
+            .push_back(job);
+        self.wake();
+    }
+
+    /// One round of work-finding for `index`: own deque, injector, then
+    /// stealing from siblings.
+    pub(crate) fn find_work(&self, index: usize) -> Option<JobRef> {
+        if let Some(job) = unsafe { self.deques[index].pop() } {
+            return Some(job);
+        }
+        self.steal_work(index)
+    }
+
+    /// Work from anywhere but `index`'s own deque (also used while a
+    /// worker waits on a latch, so it keeps the pool busy instead of
+    /// spinning).
+    pub(crate) fn steal_work(&self, index: usize) -> Option<JobRef> {
+        if let Some(job) = self.injector.lock().expect("injector poisoned").pop_front() {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        // A couple of sweeps absorb CAS-race `Retry`s without busy-looping
+        // on a contended victim forever.
+        for _ in 0..2 {
+            let mut contended = false;
+            for offset in 1..n {
+                let victim = (index + offset) % n;
+                match self.deques[victim].steal() {
+                    Steal::Success(job) => return Some(job),
+                    Steal::Retry => contended = true,
+                    Steal::Empty => {}
+                }
+            }
+            if !contended {
+                break;
+            }
+        }
+        None
+    }
+
+    fn wake(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            // Taking the lock orders this notify after a racing parker's
+            // re-check; the park timeout bounds any remaining window.
+            drop(self.sleep_mutex.lock().expect("sleep mutex poisoned"));
+            self.sleep_cv.notify_all();
+        }
+    }
+
+    fn park(&self) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let guard = self.sleep_mutex.lock().expect("sleep mutex poisoned");
+        let _ = self
+            .sleep_cv
+            .wait_timeout(guard, Duration::from_millis(1))
+            .expect("sleep mutex poisoned");
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn worker_loop(registry: Arc<Registry>, index: usize) {
+    WORKER.with(|w| w.set(Some((registry.id, index, Arc::as_ptr(&registry)))));
+    loop {
+        if let Some(job) = registry.find_work(index) {
+            unsafe { job.execute() };
+            continue;
+        }
+        if registry.terminate.load(Ordering::SeqCst) {
+            break;
+        }
+        registry.park();
+    }
+    WORKER.with(|w| w.set(None));
+}
+
+/// A work-stealing thread pool.
+///
+/// Most callers never construct one: the [`crate::join`], [`crate::scope`]
+/// and parallel-iterator entry points lazily start a process-global pool
+/// sized by the `KSA_THREADS` environment variable (falling back to the
+/// number of available cores). Explicit pools exist for tests and for
+/// embedding at a forced size.
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Starts a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let registry = Arc::new(Registry {
+            id: NEXT_REGISTRY_ID.fetch_add(1, Ordering::Relaxed),
+            deques: (0..threads).map(|_| Deque::new()).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleep_mutex: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            terminate: AtomicBool::new(false),
+        });
+        let handles = (0..threads)
+            .map(|index| {
+                let registry = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("ksa-exec-{index}"))
+                    // Deep enough for backtracking searches executed on
+                    // workers (the CSP solver recurses once per view).
+                    .stack_size(8 << 20)
+                    .spawn(move || worker_loop(registry, index))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        ThreadPool { registry, handles }
+    }
+
+    /// Starts a pool sized by [`crate::configured_threads`].
+    pub fn from_env() -> Self {
+        ThreadPool::new(crate::configured_threads())
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.registry.num_threads()
+    }
+
+    /// Runs `f` inside the pool: on a worker thread, with full access to
+    /// work-stealing `join`/`scope`. If the calling thread already is a
+    /// worker of this pool, `f` runs inline.
+    pub fn install<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        install_into(&self.registry, f)
+    }
+
+    /// Runs `f` with a [`crate::Scope`] on this pool; see [`crate::scope`].
+    pub fn scope<'scope, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&crate::Scope<'scope>) -> R + Send,
+        R: Send,
+    {
+        crate::scope::scope_in(&self.registry, f)
+    }
+
+    /// Work-stealing fork-join on this pool: potentially runs `a` and
+    /// `b` in parallel, returning both results. See [`crate::join`].
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        let registry: &Registry = &self.registry;
+        match registry.current_worker() {
+            Some(index) => join_in_worker(registry, index, a, b),
+            None => install_into(registry, || {
+                let index = registry.current_worker().expect("installed on a worker");
+                join_in_worker(registry, index, a, b)
+            }),
+        }
+    }
+
+    /// Fire-and-forget execution of `f` on the pool.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let job = HeapJob::new(Box::new(move || {
+            // A panicking spawned task must not unwind into the worker
+            // loop; mirror std::thread and abort-free swallow it after
+            // printing (the panic hook has already reported it).
+            let _ = panic::catch_unwind(AssertUnwindSafe(f));
+        }));
+        self.registry.inject(job.into_job_ref());
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate.store(true, Ordering::SeqCst);
+        // Workers notice within one park timeout; nudge them anyway.
+        self.registry.sleep_cv.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Runs `f` on a worker of `registry`, inline when already on one.
+pub(crate) fn install_into<F, R>(registry: &Registry, f: F) -> R
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    if registry.current_worker().is_some() {
+        return f();
+    }
+    let job = StackJob::new(LockLatch::new(), f);
+    unsafe { registry.inject(job.as_job_ref()) };
+    job.latch().wait();
+    job.into_result()
+}
+
+/// The registry the current thread works for, if any.
+///
+/// # Safety of the returned reference
+///
+/// The pointer in TLS is valid for as long as this thread is a worker
+/// (the worker holds an `Arc` on its registry for its whole life), and
+/// the reference does not escape the current job's execution.
+pub(crate) fn current_registry() -> Option<(usize, &'static Registry)> {
+    WORKER.with(|w| w.get().map(|(_, index, ptr)| (index, unsafe { &*ptr })))
+}
+
+/// The fork-join primitive, executed on a worker thread.
+///
+/// `b` is published on the worker's deque so any idle sibling can steal
+/// it; the worker runs `a` itself, then either pops `b` back (running it
+/// inline — the common, allocation-free fast path) or, if `b` was stolen,
+/// works on other jobs until `b`'s latch is set.
+pub(crate) fn join_in_worker<A, B, RA, RB>(
+    registry: &Registry,
+    index: usize,
+    a: A,
+    b: B,
+) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(crate::job::SpinLatch::new(), b);
+    unsafe { registry.push_local(index, job_b.as_job_ref()) };
+
+    let result_a = panic::catch_unwind(AssertUnwindSafe(a));
+
+    // Whether or not `a` panicked, `job_b` lives on this stack frame and
+    // may have been stolen — we must not unwind past it until its latch
+    // is set.
+    let mut spins = 0u32;
+    while !job_b.latch().probe() {
+        // Popping our own deque may return `job_b` itself (executed
+        // inline via its JobRef) or deeper jobs pushed by ancestors —
+        // running those here is sound: their joiners treat "gone from
+        // the deque" exactly like "stolen" and wait on the latch.
+        if let Some(job) = unsafe { registry.deques[index].pop() } {
+            unsafe { job.execute() };
+            spins = 0;
+        } else if let Some(job) = registry.steal_work(index) {
+            unsafe { job.execute() };
+            spins = 0;
+        } else if spins < 64 {
+            std::hint::spin_loop();
+            spins += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+
+    match result_a {
+        Ok(ra) => (ra, job_b.into_result()),
+        // `a`'s panic wins; `b`'s result (even a panic payload) is
+        // dropped with the job.
+        Err(p) => panic::resume_unwind(p),
+    }
+}

@@ -17,7 +17,7 @@
 use crate::digraph::Digraph;
 use crate::proc_set::ProcSet;
 #[cfg(feature = "parallel")]
-use rayon::prelude::*;
+use ksa_exec::prelude::*;
 
 /// Depth to which the branch-and-bound tree is expanded into a frontier
 /// of independent subproblems for parallel search (≤ 2^DEPTH tasks).

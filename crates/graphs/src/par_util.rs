@@ -3,11 +3,13 @@
 //! `ProcSet::k_subsets` spaces grow as `C(n, k)`; materializing one in
 //! full before fanning out would cost unbounded memory and forfeit
 //! early exit. These helpers stream the iterator in fixed-size batches
-//! instead: each batch is processed in parallel, and scanning stops at
-//! the first batch containing a witness (for `any`) — bounding memory
-//! by the batch size while keeping the cores busy.
+//! instead: each batch is fanned out on the `ksa-exec` work-stealing
+//! pool (idle workers steal the larger remaining half of a batch, so
+//! uneven per-item costs rebalance), and scanning stops at the first
+//! batch containing a witness (for `any`) — bounding memory by the
+//! batch size while keeping the cores busy.
 
-use rayon::prelude::*;
+use ksa_exec::prelude::*;
 
 /// Items pulled from the source iterator per parallel round.
 const BATCH: usize = 4096;

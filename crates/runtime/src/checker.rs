@@ -20,13 +20,13 @@ use crate::error::RuntimeError;
 use crate::execution::{execute_schedule, ExecutionTrace};
 use ksa_core::algorithms::ObliviousAlgorithm;
 use ksa_core::task::Value;
+#[cfg(feature = "parallel")]
+use ksa_exec::prelude::*;
 use ksa_models::adversary::generator_schedules;
 use ksa_models::ClosedAboveModel;
 use ksa_models::ObliviousModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-#[cfg(feature = "parallel")]
-use rayon::prelude::*;
 
 /// Generator schedules pulled per parallel round: bounds the memory
 /// held in cloned schedules while keeping every core busy (each
@@ -34,7 +34,7 @@ use rayon::prelude::*;
 #[cfg(feature = "parallel")]
 const SCHEDULE_BATCH: usize = 256;
 
-/// An explicit exploration budget: the guard that makes exhaustive
+/// The explicit exploration budget: the guard that makes exhaustive
 /// checks degrade into a clean [`RuntimeError::TooLarge`] instead of
 /// hanging (or exhausting memory) on an instance that is too big.
 ///
@@ -42,48 +42,11 @@ const SCHEDULE_BATCH: usize = 256;
 /// values^n` executions), so the budget is enforced *before* any work
 /// starts; callers can catch the error and fall back to
 /// [`monte_carlo`](crate::monte_carlo) sampling.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RunBudget {
-    /// Maximum number of executions an exhaustive check may enumerate.
-    pub max_executions: u128,
-}
-
-impl RunBudget {
-    /// The default ceiling: comfortably interactive on small models.
-    pub const DEFAULT: RunBudget = RunBudget {
-        max_executions: 100_000_000,
-    };
-
-    /// A budget of `max_executions` executions.
-    pub fn new(max_executions: u128) -> Self {
-        RunBudget { max_executions }
-    }
-
-    /// Errors with [`RuntimeError::TooLarge`] when `estimated` exceeds
-    /// this budget.
-    pub fn admit(&self, what: &'static str, estimated: u128) -> Result<(), RuntimeError> {
-        if estimated > self.max_executions {
-            return Err(RuntimeError::TooLarge {
-                what,
-                estimated,
-                limit: self.max_executions,
-            });
-        }
-        Ok(())
-    }
-}
-
-impl Default for RunBudget {
-    fn default() -> Self {
-        RunBudget::DEFAULT
-    }
-}
-
-impl From<u128> for RunBudget {
-    fn from(max_executions: u128) -> Self {
-        RunBudget::new(max_executions)
-    }
-}
+///
+/// The type itself now lives in [`ksa_core::budget`] (the solvability
+/// search enforces it too); this re-export preserves the historical
+/// `ksa_runtime::checker::RunBudget` path.
+pub use ksa_core::budget::RunBudget;
 
 /// Outcome of an exhaustive (or sampled) check.
 #[derive(Debug, Clone)]

@@ -88,6 +88,16 @@ impl From<ksa_graphs::GraphError> for RuntimeError {
     }
 }
 
+impl From<ksa_core::budget::BudgetExceeded> for RuntimeError {
+    fn from(e: ksa_core::budget::BudgetExceeded) -> Self {
+        RuntimeError::TooLarge {
+            what: e.what,
+            estimated: e.estimated,
+            limit: e.limit,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

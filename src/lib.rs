@@ -4,10 +4,11 @@
 //! round-based models through combinatorial topology"* (Adam Shimi &
 //! Armando Castañeda, PODC 2020, arXiv:2003.02869).
 //!
-//! This umbrella crate re-exports the five layers of the system:
+//! This umbrella crate re-exports the layers of the system:
 //!
 //! | Layer | Crate | What it is |
 //! |---|---|---|
+//! | exec | `exec` | the work-stealing execution engine behind the `parallel` feature |
 //! | graphs | [`graphs`] | communication graphs + the paper's combinatorial numbers |
 //! | topology | [`topology`] | simplicial complexes, pseudospheres, homology, protocol complexes |
 //! | models | [`models`] | oblivious / closed-above models, the model zoo, adversaries |
@@ -34,6 +35,8 @@
 //! ```
 
 pub use ksa_core as core;
+#[cfg(feature = "parallel")]
+pub use ksa_exec as exec;
 pub use ksa_graphs as graphs;
 pub use ksa_models as models;
 pub use ksa_runtime as runtime;
