@@ -19,9 +19,8 @@
 //!
 //! Exit code 0 iff every executed experiment's shape assertions held.
 
-use ksa_bench::{run_experiment, ExperimentOutcome, ALL_EXPERIMENTS, SMOKE_EXPERIMENTS};
+use ksa_bench::{run_experiments, ExperimentOutcome, ALL_EXPERIMENTS, SMOKE_EXPERIMENTS};
 use std::process::ExitCode;
-use std::time::Instant;
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 fn json_escape(s: &str) -> String {
@@ -120,13 +119,15 @@ fn main() -> ExitCode {
         selected.iter().map(|s| s.as_str()).collect()
     };
 
+    // Whole experiments fan out as `ksa-exec` tasks (under the default
+    // `parallel` feature); results come back in input order, so the
+    // printed reports and the JSON payload are independent of the thread
+    // count.
     let mut all_ok = true;
     let mut results: Vec<(ExperimentOutcome, f64)> = Vec::new();
-    for id in ids {
-        let start = Instant::now();
-        match run_experiment(id) {
+    for (id, (result, wall_ms)) in ids.iter().zip(run_experiments(&ids)) {
+        match result {
             Ok(outcome) => {
-                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
                 println!("================================================================");
                 println!("experiment: {} ({wall_ms:.0} ms)", outcome.id);
                 println!("================================================================");

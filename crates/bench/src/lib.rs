@@ -116,6 +116,46 @@ pub fn run_experiment(id: &str) -> Result<ExperimentOutcome, String> {
     result.map_err(|e| e.to_string())
 }
 
+/// Runs the given experiments and returns `(outcome-or-error, wall_ms)`
+/// per id, **in input order**.
+///
+/// With the `parallel` feature each experiment is a `ksa-exec` task —
+/// whole experiments race on the work-stealing pool while their inner hot
+/// loops (homology, checker, solvability) fan out further on the same
+/// engine. Results merge in input order and every experiment is
+/// deterministic given its id, so reports, exit codes and `--json`
+/// payloads are identical at any `KSA_THREADS`; only the wall times move.
+/// Wall time is measured inside each task; note that while an experiment
+/// waits on its own inner joins, its worker may help *sibling*
+/// experiments, so at small pool sizes a per-experiment time is an upper
+/// bound (elapsed, not exclusive CPU) — the total run time is what the
+/// fan-out shrinks on multicore.
+///
+/// # Examples
+///
+/// ```
+/// let results = ksa_bench::run_experiments(&["fig2", "fig3"]);
+/// assert_eq!(results.len(), 2);
+/// assert!(results.iter().all(|(r, _)| r.as_ref().is_ok_and(|o| o.passed)));
+/// assert_eq!(results[0].0.as_ref().unwrap().id, "fig2"); // input order
+/// ```
+pub fn run_experiments(ids: &[&str]) -> Vec<(Result<ExperimentOutcome, String>, f64)> {
+    let timed = |id: &&str| {
+        let start = std::time::Instant::now();
+        let result = run_experiment(id);
+        (result, start.elapsed().as_secs_f64() * 1e3)
+    };
+    #[cfg(feature = "parallel")]
+    {
+        use ksa_exec::prelude::*;
+        ids.par_iter().map(timed).collect()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        ids.iter().map(timed).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,10 +13,9 @@
 //!
 //! ## Architecture
 //!
-//! * [`deque`](mod@crate::deque) *(internal)* — Chase–Lev per-worker
-//!   deques: the owner pushes/pops LIFO (depth-first through its own
-//!   splits, cache-hot), thieves steal FIFO (the oldest, biggest
-//!   subtree).
+//! * `deque` *(internal)* — Chase–Lev per-worker deques: the owner
+//!   pushes/pops LIFO (depth-first through its own splits, cache-hot),
+//!   thieves steal FIFO (the oldest, biggest subtree).
 //! * [`ThreadPool`] — a registry of workers with a shared injector for
 //!   external submissions; idle workers park on a condvar. The
 //!   process-global pool starts lazily, sized by **`KSA_THREADS`** (else
@@ -57,6 +56,8 @@
 //! let squares: Vec<u64> = (0..1000usize).into_par_iter().map(|i| (i * i) as u64).collect();
 //! assert_eq!(squares[999], 998_001);
 //! ```
+
+#![deny(missing_docs)]
 
 mod deque;
 pub mod iter;

@@ -3,6 +3,26 @@
 //! Boundary-operator ranks are all homology needs over Z/2, and Gaussian
 //! elimination on `u64`-packed rows keeps the protocol-complex instances of
 //! the experiments comfortably in budget.
+//!
+//! With the `parallel` feature the hot loops run on the `ksa-exec`
+//! work-stealing pool: row assembly ([`Gf2Matrix::from_row_fn`]) and the
+//! row-elimination sweep of each pivot step fan rows out across workers,
+//! and the pivot search splits the candidate row range. Every parallel
+//! step reproduces the sequential elimination trajectory exactly — the
+//! pivot chosen is the *minimal* candidate row (left-preferring merge) and
+//! eliminated rows never read each other — so ranks are bit-identical to
+//! [`Gf2Matrix::rank_seq`] at any `KSA_THREADS` (the determinism contract,
+//! DESIGN.md §4).
+
+/// Minimum number of `u64` words a parallel leaf should own; below this,
+/// forking costs more than the XOR sweep it would offload.
+#[cfg(feature = "parallel")]
+const PAR_WORDS_GRAIN: usize = 2048;
+
+/// Minimum candidate rows before the pivot search is worth splitting
+/// (one word probe per row — only long columns pay for a fork).
+#[cfg(feature = "parallel")]
+const PAR_PIVOT_ROWS_GRAIN: usize = 4096;
 
 /// A dense matrix over GF(2), rows bit-packed into `u64` words.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +43,47 @@ impl Gf2Matrix {
             words_per_row,
             data: vec![0; rows * words_per_row],
         }
+    }
+
+    /// Builds a matrix by filling each row independently: `row_cols(r)`
+    /// returns the column indexes holding a 1 in row `r`.
+    ///
+    /// Rows are disjoint in memory, so with the `parallel` feature they
+    /// are filled by the `ksa-exec` pool (this is how the homology
+    /// pipeline assembles boundary operators); the result is identical to
+    /// the sequential fill at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any returned column index is out of bounds.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ksa_topology::gf2::Gf2Matrix;
+    ///
+    /// // The identity, one row at a time.
+    /// let id = Gf2Matrix::from_row_fn(64, 64, |r| vec![r]);
+    /// assert_eq!(id.rank(), 64);
+    /// assert_eq!(id.rank(), id.rank_seq());
+    /// ```
+    pub fn from_row_fn<F>(rows: usize, cols: usize, row_cols: F) -> Self
+    where
+        F: Fn(usize) -> Vec<usize> + Sync,
+    {
+        let mut m = Gf2Matrix::zero(rows, cols);
+        #[cfg(feature = "parallel")]
+        if rows > 1 && rows * m.words_per_row >= PAR_WORDS_GRAIN {
+            let wpr = m.words_per_row;
+            fill_rows(&mut m.data, 0, wpr, cols, &row_cols);
+            return m;
+        }
+        for r in 0..rows {
+            for c in row_cols(r) {
+                m.set(r, c);
+            }
+        }
+        m
     }
 
     /// Number of rows.
@@ -56,9 +117,40 @@ impl Gf2Matrix {
     }
 
     /// The rank over GF(2), via in-place Gaussian elimination on a copy.
+    ///
+    /// With the `parallel` feature, matrices past the word-count grain run
+    /// the blocked parallel elimination; the value is always identical to
+    /// [`Gf2Matrix::rank_seq`].
     pub fn rank(&self) -> usize {
         let mut m = self.clone();
-        m.rank_destructive()
+        #[cfg(feature = "parallel")]
+        if m.rows > 1 && m.rows * m.words_per_row >= PAR_WORDS_GRAIN {
+            return m.rank_destructive_par();
+        }
+        m.rank_destructive_seq()
+    }
+
+    /// The sequential reference rank: plain scalar Gaussian elimination,
+    /// engine-free under every feature combination.
+    ///
+    /// This is the cross-check oracle for the parallel elimination (the
+    /// determinism proptests assert `rank() == rank_seq()` at pool sizes
+    /// 1/2/8).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ksa_topology::gf2::Gf2Matrix;
+    ///
+    /// let mut m = Gf2Matrix::zero(2, 3);
+    /// m.set(0, 0);
+    /// m.set(1, 0); // dependent rows
+    /// assert_eq!(m.rank_seq(), 1);
+    /// assert_eq!(m.rank(), m.rank_seq());
+    /// ```
+    pub fn rank_seq(&self) -> usize {
+        let mut m = self.clone();
+        m.rank_destructive_seq()
     }
 
     fn row(&self, r: usize) -> &[u64] {
@@ -84,7 +176,7 @@ impl Gf2Matrix {
         }
     }
 
-    fn rank_destructive(&mut self) -> usize {
+    fn rank_destructive_seq(&mut self) -> usize {
         let mut rank = 0;
         let mut pivot_row = 0;
         for col in 0..self.cols {
@@ -115,9 +207,113 @@ impl Gf2Matrix {
         rank
     }
 
+    /// Blocked parallel elimination: same column loop as the sequential
+    /// path, but each pivot step splits its pivot search and its
+    /// row-elimination sweep across `ksa-exec` workers. The left-
+    /// preferring pivot merge picks the *minimal* candidate row — exactly
+    /// the row the sequential scan finds — and eliminated rows are
+    /// pairwise independent, so the elimination trajectory (and hence the
+    /// rank) matches [`Gf2Matrix::rank_seq`] bit for bit.
+    #[cfg(feature = "parallel")]
+    fn rank_destructive_par(&mut self) -> usize {
+        let wpr = self.words_per_row;
+        let mut rank = 0;
+        let mut pivot_row = 0;
+        for col in 0..self.cols {
+            let word = col / 64;
+            let bit = 1u64 << (col % 64);
+            let Some(r) = find_pivot(&self.data, wpr, word, bit, pivot_row, self.rows) else {
+                continue;
+            };
+            self.data.swap_chunks(pivot_row, r, wpr);
+            let (upper, below) = self.data.split_at_mut((pivot_row + 1) * wpr);
+            let pivot = &upper[pivot_row * wpr..];
+            eliminate_below(pivot, below, wpr, word, bit);
+            rank += 1;
+            pivot_row += 1;
+            if pivot_row == self.rows {
+                break;
+            }
+        }
+        rank
+    }
+
     /// Hamming weight of a row (used in tests/diagnostics).
     pub fn row_weight(&self, r: usize) -> usize {
         self.row(r).iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Fills disjoint row blocks in parallel: `data` holds the rows starting
+/// at global index `first_row`.
+#[cfg(feature = "parallel")]
+fn fill_rows<F>(data: &mut [u64], first_row: usize, wpr: usize, cols: usize, row_cols: &F)
+where
+    F: Fn(usize) -> Vec<usize> + Sync,
+{
+    let rows = data.len() / wpr;
+    if rows > 1 && rows * wpr >= PAR_WORDS_GRAIN {
+        let mid = rows / 2;
+        let (lo, hi) = data.split_at_mut(mid * wpr);
+        ksa_exec::join(
+            || fill_rows(lo, first_row, wpr, cols, row_cols),
+            || fill_rows(hi, first_row + mid, wpr, cols, row_cols),
+        );
+        return;
+    }
+    for r in 0..rows {
+        for c in row_cols(first_row + r) {
+            assert!(c < cols);
+            data[r * wpr + c / 64] |= 1u64 << (c % 64);
+        }
+    }
+}
+
+/// The minimal row index in `[lo, hi)` whose `word`/`bit` is set —
+/// identical to the sequential top-down scan because the recursive merge
+/// always prefers the left (smaller-index) half.
+#[cfg(feature = "parallel")]
+fn find_pivot(
+    data: &[u64],
+    wpr: usize,
+    word: usize,
+    bit: u64,
+    lo: usize,
+    hi: usize,
+) -> Option<usize> {
+    if hi - lo <= PAR_PIVOT_ROWS_GRAIN {
+        return (lo..hi).find(|&r| data[r * wpr + word] & bit != 0);
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (left, right) = ksa_exec::join(
+        || find_pivot(data, wpr, word, bit, lo, mid),
+        || find_pivot(data, wpr, word, bit, mid, hi),
+    );
+    left.or(right)
+}
+
+/// XORs `pivot` into every row of `below` whose `word`/`bit` is set,
+/// splitting the row block across workers. Rows are disjoint and never
+/// read each other, so any execution order yields the sequential result.
+#[cfg(feature = "parallel")]
+fn eliminate_below(pivot: &[u64], below: &mut [u64], wpr: usize, word: usize, bit: u64) {
+    let rows = below.len() / wpr;
+    if rows > 1 && rows * wpr >= PAR_WORDS_GRAIN {
+        let mid = rows / 2;
+        let (lo, hi) = below.split_at_mut(mid * wpr);
+        ksa_exec::join(
+            || eliminate_below(pivot, lo, wpr, word, bit),
+            || eliminate_below(pivot, hi, wpr, word, bit),
+        );
+        return;
+    }
+    for r in 0..rows {
+        let row = &mut below[r * wpr..(r + 1) * wpr];
+        if row[word] & bit != 0 {
+            for (d, s) in row.iter_mut().zip(pivot) {
+                *d ^= s;
+            }
+        }
     }
 }
 
@@ -213,5 +409,37 @@ mod tests {
         m.set(2, 1);
         m.set(2, 2);
         assert_eq!(m.rank(), 2);
+    }
+
+    /// A deterministic pseudo-random bit soup (xorshift), wide and tall
+    /// enough to cross the parallel grain: the parallel elimination must
+    /// agree with the scalar reference exactly.
+    #[test]
+    fn parallel_rank_matches_seq_reference_on_large_matrix() {
+        let mix = |r: usize, c: usize| -> u64 {
+            let mut x = (r as u64) << 32 | c as u64;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        };
+        let m = Gf2Matrix::from_row_fn(300, 500, |r| {
+            (0..500).filter(|&c| mix(r, c) % 3 == 0).collect()
+        });
+        assert_eq!(m.rank(), m.rank_seq());
+    }
+
+    #[test]
+    fn from_row_fn_matches_set_loop() {
+        let row_cols =
+            |r: usize| -> Vec<usize> { (0..200).filter(|c| (r + c).is_multiple_of(7)).collect() };
+        let a = Gf2Matrix::from_row_fn(150, 200, row_cols);
+        let mut b = Gf2Matrix::zero(150, 200);
+        for r in 0..150 {
+            for c in row_cols(r) {
+                b.set(r, c);
+            }
+        }
+        assert_eq!(a, b);
     }
 }

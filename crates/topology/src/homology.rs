@@ -19,12 +19,20 @@
 use crate::complex::Complex;
 use crate::gf2::Gf2Matrix;
 use crate::simplex::{Simplex, View};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// The reduced Z/2 Betti numbers `b̃_0, …, b̃_dim` of a complex.
 ///
 /// Returns an empty vector for the void complex (which has `b̃_{−1} = 1`,
 /// not represented here; use [`Complex::is_void`] to detect voidness).
+///
+/// With the `parallel` feature, the boundary operators of the different
+/// dimensions are assembled and rank-reduced as independent `ksa-exec`
+/// tasks (and each rank computation itself runs the blocked parallel
+/// elimination of [`crate::gf2`]). Simplex indexes are assigned from the
+/// canonical sorted face closure *before* any fan-out, so every boundary
+/// matrix — and therefore every Betti number — is bit-identical to
+/// [`reduced_betti_numbers_seq`] at any `KSA_THREADS` (DESIGN.md §4).
 ///
 /// # Examples
 ///
@@ -44,10 +52,110 @@ pub fn reduced_betti_numbers<V: View>(complex: &Complex<V>) -> Vec<usize> {
     }
     let dim = complex.dim() as usize;
 
-    // Bucket all simplexes by dimension and index them.
+    // Bucket all simplexes by dimension and index them. `all_simplexes`
+    // is canonically sorted, so the index assignment is deterministic no
+    // matter how the closure was enumerated.
     let all = complex.all_simplexes();
+    let (by_dim, index) = bucket_and_index(&all, dim);
+
+    // rank ∂_k for k = 0..=dim+1 (∂_0 = augmentation, ∂_{dim+1} = 0).
+    let mut ranks = vec![0usize; dim + 2];
+    ranks[0] = 1; // augmentation on a non-void complex
+
+    let boundary_rank = |k: usize| -> usize {
+        Gf2Matrix::from_row_fn(by_dim[k].len(), by_dim[k - 1].len(), |r| {
+            by_dim[k][r]
+                .faces()
+                .map(|face| index[k - 1][&face])
+                .collect()
+        })
+        .rank()
+    };
+
+    #[cfg(feature = "parallel")]
+    {
+        use ksa_exec::prelude::*;
+        // Per-dimension fan-out: each ∂_k is an independent task.
+        let computed: Vec<usize> = (1..dim + 1).into_par_iter().map(boundary_rank).collect();
+        ranks[1..=dim].copy_from_slice(&computed);
+    }
+    #[cfg(not(feature = "parallel"))]
+    for k in 1..=dim {
+        ranks[k] = boundary_rank(k);
+    }
+    // ranks[dim + 1] stays 0.
+
+    (0..=dim)
+        .map(|k| by_dim[k].len() - ranks[k] - ranks[k + 1])
+        .collect()
+}
+
+/// The sequential reference for [`reduced_betti_numbers`]: enumerates the
+/// face closure, assembles every boundary operator and reduces it with
+/// scalar Gaussian elimination ([`Gf2Matrix::rank_seq`]) on the calling
+/// thread — no `ksa-exec` involvement under any feature set.
+///
+/// This is the oracle of the parallel-vs-sequential determinism proptests
+/// (`tests/parallel_homology.rs`), which pin
+/// `reduced_betti_numbers == reduced_betti_numbers_seq` at pool sizes
+/// 1/2/8.
+///
+/// # Examples
+///
+/// ```
+/// use ksa_topology::complex::Complex;
+/// use ksa_topology::simplex::{Simplex, Vertex};
+/// use ksa_topology::homology::{reduced_betti_numbers, reduced_betti_numbers_seq};
+///
+/// let tri = Simplex::new((0..3).map(|c| Vertex::new(c, ())).collect()).unwrap();
+/// let circle = Complex::boundary_of(&tri);
+/// assert_eq!(reduced_betti_numbers_seq(&circle), vec![0, 1]);
+/// assert_eq!(reduced_betti_numbers(&circle), reduced_betti_numbers_seq(&circle));
+/// ```
+pub fn reduced_betti_numbers_seq<V: View>(complex: &Complex<V>) -> Vec<usize> {
+    if complex.is_void() {
+        return Vec::new();
+    }
+    let dim = complex.dim() as usize;
+
+    // Self-contained scalar face-closure enumeration (the parallel path's
+    // `Complex::all_simplexes` produces the same sorted vector).
+    let mut closure: BTreeSet<Simplex<V>> = BTreeSet::new();
+    for f in complex.facets() {
+        for s in f.all_faces() {
+            closure.insert(s);
+        }
+    }
+    let all: Vec<Simplex<V>> = closure.into_iter().collect();
+    let (by_dim, index) = bucket_and_index(&all, dim);
+
+    let mut ranks = vec![0usize; dim + 2];
+    ranks[0] = 1;
+    for k in 1..=dim {
+        let mut m = Gf2Matrix::zero(by_dim[k].len(), by_dim[k - 1].len());
+        for (r, s) in by_dim[k].iter().enumerate() {
+            for face in s.faces() {
+                m.set(r, index[k - 1][&face]);
+            }
+        }
+        ranks[k] = m.rank_seq();
+    }
+
+    (0..=dim)
+        .map(|k| by_dim[k].len() - ranks[k] - ranks[k + 1])
+        .collect()
+}
+
+/// Buckets the (sorted) face closure by dimension and builds the
+/// simplex → row/column index maps the boundary operators use. The
+/// assignment depends only on the canonical sort order of `all`.
+#[allow(clippy::type_complexity)]
+fn bucket_and_index<V: View>(
+    all: &[Simplex<V>],
+    dim: usize,
+) -> (Vec<Vec<&Simplex<V>>>, Vec<HashMap<&Simplex<V>, usize>>) {
     let mut by_dim: Vec<Vec<&Simplex<V>>> = vec![Vec::new(); dim + 1];
-    for s in &all {
+    for s in all {
         by_dim[s.dim() as usize].push(s);
     }
     let mut index: Vec<HashMap<&Simplex<V>, usize>> = Vec::with_capacity(dim + 1);
@@ -58,27 +166,7 @@ pub fn reduced_betti_numbers<V: View>(complex: &Complex<V>) -> Vec<usize> {
         }
         index.push(m);
     }
-
-    // rank ∂_k for k = 0..=dim+1 (∂_0 = augmentation, ∂_{dim+1} = 0).
-    let mut ranks = vec![0usize; dim + 2];
-    ranks[0] = 1; // augmentation on a non-void complex
-    for k in 1..=dim {
-        let rows = by_dim[k].len();
-        let cols = by_dim[k - 1].len();
-        let mut m = Gf2Matrix::zero(rows, cols);
-        for (r, s) in by_dim[k].iter().enumerate() {
-            for face in s.faces() {
-                let c = index[k - 1][&face];
-                m.set(r, c);
-            }
-        }
-        ranks[k] = m.rank();
-    }
-    // ranks[dim + 1] stays 0.
-
-    (0..=dim)
-        .map(|k| by_dim[k].len() - ranks[k] - ranks[k + 1])
-        .collect()
+    (by_dim, index)
 }
 
 /// The number of path components of a non-void complex (computed by

@@ -45,6 +45,8 @@
 //! assert!(homological_connectivity(&c) >= 1);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod complex;
 pub mod connectivity;
 pub mod error;

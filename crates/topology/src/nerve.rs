@@ -9,6 +9,16 @@
 use crate::complex::Complex;
 use crate::simplex::{Simplex, Vertex, View};
 
+#[cfg(feature = "parallel")]
+use ksa_exec::prelude::*;
+
+/// Frontier size past which a level's expansions fan out on the
+/// `ksa-exec` pool. Expansion of one index set is independent of its
+/// siblings and results merge in frontier order, so the construction is
+/// identical to the sequential sweep.
+#[cfg(feature = "parallel")]
+const PAR_FRONTIER_GRAIN: usize = 4;
+
 /// The nerve of a cover, as a complex colored by cover indices with unit
 /// views.
 ///
@@ -42,22 +52,34 @@ pub fn nerve_complex<V: View>(cover: &[Complex<V>]) -> Complex<()> {
         }
     }
     while !frontier.is_empty() {
-        let mut next: Vec<(Vec<usize>, Complex<V>)> = Vec::new();
-        for (set, inter) in &frontier {
-            let last = *set.last().expect("non-empty index set");
-            let mut extended = false;
-            for (j, cj) in cover.iter().enumerate().skip(last + 1) {
-                let bigger = inter.intersection(cj);
-                if !bigger.is_void() {
-                    let mut s = set.clone();
-                    s.push(j);
-                    next.push((s, bigger));
-                    extended = true;
+        // One index set's extensions, plus the set itself when it extends
+        // no further (a facet candidate).
+        let expand = |(set, inter): &(Vec<usize>, Complex<V>)| {
+            let exts = extensions(set, inter, cover);
+            let maximal = exts.is_empty().then(|| set.clone());
+            (exts, maximal)
+        };
+
+        #[allow(clippy::type_complexity)]
+        let expanded: Vec<(Vec<(Vec<usize>, Complex<V>)>, Option<Vec<usize>>)> = {
+            #[cfg(feature = "parallel")]
+            {
+                if frontier.len() >= PAR_FRONTIER_GRAIN {
+                    frontier.par_iter().map(expand).collect()
+                } else {
+                    frontier.iter().map(expand).collect()
                 }
             }
-            if !extended {
-                facet_candidates.push(set.clone());
+            #[cfg(not(feature = "parallel"))]
+            {
+                frontier.iter().map(expand).collect()
             }
+        };
+
+        let mut next: Vec<(Vec<usize>, Complex<V>)> = Vec::new();
+        for (exts, maximal) in expanded {
+            next.extend(exts);
+            facet_candidates.extend(maximal);
         }
         frontier = next;
     }
@@ -81,27 +103,66 @@ pub fn nerve_lemma_violations<V: View>(cover: &[Complex<V>], k: isize) -> Vec<Ve
         frontier.push((vec![i], c.clone()));
     }
     while !frontier.is_empty() {
-        let mut next = Vec::new();
-        for (set, inter) in &frontier {
-            if !inter.is_void() {
-                let need = k - set.len() as isize + 1;
-                if !is_k_connected(inter, need) {
-                    bad.push(set.clone());
-                }
-                let last = *set.last().expect("non-empty");
-                for (j, cj) in cover.iter().enumerate().skip(last + 1) {
-                    let bigger = inter.intersection(cj);
-                    if !bigger.is_void() {
-                        let mut s = set.clone();
-                        s.push(j);
-                        next.push((s, bigger));
-                    }
+        // Check one index set's connectivity requirement and compute its
+        // extensions (the homology checks dominate — with the `parallel`
+        // feature each frontier entry is a task and its Betti computation
+        // fans out further inside the engine).
+        let check = |(set, inter): &(Vec<usize>, Complex<V>)| {
+            if inter.is_void() {
+                return (Vec::new(), None);
+            }
+            let need = k - set.len() as isize + 1;
+            let violation = (!is_k_connected(inter, need)).then(|| set.clone());
+            (extensions(set, inter, cover), violation)
+        };
+
+        #[allow(clippy::type_complexity)]
+        let checked: Vec<(Vec<(Vec<usize>, Complex<V>)>, Option<Vec<usize>>)> = {
+            #[cfg(feature = "parallel")]
+            {
+                if frontier.len() >= PAR_FRONTIER_GRAIN {
+                    frontier.par_iter().map(check).collect()
+                } else {
+                    frontier.iter().map(check).collect()
                 }
             }
+            #[cfg(not(feature = "parallel"))]
+            {
+                frontier.iter().map(check).collect()
+            }
+        };
+
+        let mut next = Vec::new();
+        for (exts, violation) in checked {
+            bad.extend(violation);
+            next.extend(exts);
         }
         frontier = next;
     }
     bad
+}
+
+/// The one-step extensions of a non-void index set: intersect with every
+/// cover element past the set's last index and keep the non-void results
+/// (emptiness is monotone, so supersets of void intersections are never
+/// explored). Shared by the nerve construction and the nerve-lemma
+/// hypothesis check so the pruning logic cannot diverge between them.
+fn extensions<V: View>(
+    set: &[usize],
+    inter: &Complex<V>,
+    cover: &[Complex<V>],
+) -> Vec<(Vec<usize>, Complex<V>)> {
+    let last = *set.last().expect("non-empty index set");
+    let mut exts = Vec::new();
+    for (j, cj) in cover.iter().enumerate().skip(last + 1) {
+        let bigger = inter.intersection(cj);
+        if !bigger.is_void() {
+            let mut s = set.to_vec();
+            s.push(j);
+            exts.push((s, bigger));
+        }
+    }
+    exts
 }
 
 #[cfg(test)]

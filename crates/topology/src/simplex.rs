@@ -12,8 +12,13 @@ use std::hash::Hash;
 
 /// Marker trait for view types; blanket-implemented for everything with the
 /// needed structure, so downstream code never implements it manually.
-pub trait View: Clone + Ord + Hash + fmt::Debug {}
-impl<T: Clone + Ord + Hash + fmt::Debug> View for T {}
+///
+/// `Send + Sync` is part of the contract so complexes can be shared across
+/// the `ksa-exec` workers of the parallel homology pipeline (every view
+/// type in the workspace — integers, `ProcSet`s, flat views — is trivially
+/// both).
+pub trait View: Clone + Ord + Hash + fmt::Debug + Send + Sync {}
+impl<T: Clone + Ord + Hash + fmt::Debug + Send + Sync> View for T {}
 
 /// A colored vertex: a `(color, view)` pair.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
