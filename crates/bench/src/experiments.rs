@@ -420,6 +420,89 @@ pub fn multiround() -> R {
     Ok(out)
 }
 
+/// Multi-round protocol complexes (extension of Thm 5.4 to the §6
+/// iteration): round-sweep Betti numbers/connectivity of the
+/// iterated-interpretation complexes vs the combinatorial multi-round
+/// lower bounds, plus the round-1 anchor to the one-round pipeline.
+pub fn rounds() -> R {
+    use ksa_core::bounds::cross_check::cross_check_round_sweep;
+    use ksa_topology::interpretation::protocol_complex_one_round;
+    use ksa_topology::rounds::protocol_complex_rounds;
+
+    let mut out = ExperimentOutcome::new("rounds");
+    out.line(
+        "rounds — iterated-interpretation protocol complexes vs Thm 6.10/6.11 (binary inputs)",
+    );
+    out.line(format!(
+        "{:<16} {:>3} {:>8} {:>7} {:>6} {:>9}  {}",
+        "model", "r", "facets", "views", "conn", "predicted", "betti"
+    ));
+    let mut sweeps = Vec::new();
+    for (name, model, rounds) in [
+        ("simple ring ↑C3", named::simple_ring(3)?, 3usize),
+        ("ring n=3 (sym)", named::symmetric_ring(3)?, 2),
+        ("stars n=3 s=1", named::star_unions(3, 1)?, 2),
+        ("stars n=3 s=2", named::star_unions(3, 2)?, 2),
+    ] {
+        let sweep = cross_check_round_sweep(&model, 1, rounds, 100_000_000u128)?;
+        for row in &sweep.per_round {
+            out.line(format!(
+                "{name:<16} {:>3} {:>8} {:>7} {:>6} {:>9}  {:?}",
+                row.round,
+                row.facets,
+                row.interned_views,
+                row.measured_connectivity,
+                row.predicted_l,
+                row.betti
+            ));
+            out.check(
+                &format!("{name} r={}: connectivity ≥ predicted l", row.round),
+                row.is_consistent(),
+            );
+        }
+        out.check(&format!("{name}: sweep consistent"), sweep.is_consistent());
+        sweeps.push((name, sweep));
+    }
+
+    // The worked anchors. ↑C3 at one round: γ(C3) = 2 predicts exactly
+    // consensus-impossibility (l = 0), and the measured connectivity is
+    // exactly 0; stars s=1 refuse to weaken with rounds (Thm 6.13): the
+    // predicted l stays 1 and the measured connectivity stays exactly 1.
+    let sweep_of = |wanted: &str| {
+        &sweeps
+            .iter()
+            .find(|(name, _)| *name == wanted)
+            .expect("model is in the zoo above")
+            .1
+    };
+    let ring = sweep_of("simple ring ↑C3");
+    out.check(
+        "↑C3 r=1: predicted l = 0, measured exactly 0",
+        ring.per_round[0].predicted_l == 0 && ring.per_round[0].measured_connectivity == 0,
+    );
+    let stars = sweep_of("stars n=3 s=1");
+    out.check(
+        "stars s=1: predicted l stays 1 across rounds (Thm 6.13)",
+        stars.per_round.iter().all(|r| r.predicted_l == 1),
+    );
+    out.check(
+        "stars s=1: measured connectivity stays exactly 1",
+        stars.per_round.iter().all(|r| r.measured_connectivity == 1),
+    );
+
+    // Round-1 anchor: the interned pipeline expands to exactly the
+    // one-round protocol complex of the seed implementation.
+    let model = named::symmetric_ring(3)?;
+    let input = ksa_core::task::input_complex(3, 1, 100_000_000)?;
+    let rc = protocol_complex_rounds(model.generators(), &input, 1, 100_000_000u128)?;
+    let direct = protocol_complex_one_round(model.generators(), &input, 100_000_000)?;
+    out.check(
+        "round-1 expansion is bit-identical to protocol_complex_one_round",
+        rc.expand_round_one() == direct,
+    );
+    Ok(out)
+}
+
 /// §3's algorithms under execution: exhaustive + Monte-Carlo + the
 /// dominating-set algorithm on supersets.
 pub fn sim() -> R {

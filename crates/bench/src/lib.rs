@@ -57,6 +57,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "stars",
     "seqs",
     "multiround",
+    "rounds",
     "sim",
     "def52",
     "cor55",
@@ -80,6 +81,7 @@ pub const SMOKE_EXPERIMENTS: &[&str] = &[
     "stars",
     "seqs",
     "multiround",
+    "rounds",
     "sim",
     "def52",
     "cor55",
@@ -105,6 +107,7 @@ pub fn run_experiment(id: &str) -> Result<ExperimentOutcome, String> {
         "stars" => experiments::stars(),
         "seqs" => experiments::seqs(),
         "multiround" => experiments::multiround(),
+        "rounds" => experiments::rounds(),
         "sim" => experiments::sim(),
         "def52" => experiments::def52(),
         "cor55" => experiments::cor55(),

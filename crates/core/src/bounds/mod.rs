@@ -9,7 +9,10 @@
 //! * [`stars`] — the star-union family (Thm 6.13), where the two meet:
 //!   the bounds are tight;
 //! * [`report`] — one-stop [`report::BoundsReport`] assembling everything
-//!   for a model and round count.
+//!   for a model and round count;
+//! * [`cross_check`] — the multi-round lower bounds confronted with the
+//!   measured connectivity of the iterated-interpretation protocol
+//!   complexes (`ksa_topology::rounds`), round by round.
 //!
 //! Conventions: an *upper bound* `k` means "`k`-set agreement solvable"
 //! (smaller is stronger); a *lower bound* is reported as the largest `k`
@@ -17,6 +20,7 @@
 //! `best_upper ≥ best_impossible + 1`, which the report asserts and the
 //! property tests check across random models.
 
+pub mod cross_check;
 pub mod extensions;
 pub mod lower;
 pub mod report;

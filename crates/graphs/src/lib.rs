@@ -46,6 +46,7 @@
 //! assert_eq!(covering_number(&star, 2).unwrap(), 2);
 //! ```
 
+pub mod budget;
 pub mod closure;
 pub mod covering;
 pub mod digraph;

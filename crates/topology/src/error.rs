@@ -32,6 +32,11 @@ pub enum TopologyError {
         /// The configured limit.
         limit: u128,
     },
+    /// A multi-round construction was asked for zero rounds.
+    ZeroRounds,
+    /// A [`RunBudget`](ksa_graphs::budget::RunBudget)-guarded construction
+    /// (the multi-round pipeline) would exceed its budget.
+    Budget(ksa_graphs::budget::BudgetExceeded),
     /// An underlying graph-layer error.
     Graph(ksa_graphs::GraphError),
 }
@@ -55,6 +60,10 @@ impl fmt::Display for TopologyError {
                 f,
                 "{what} would have about {estimated} elements, above the limit {limit}"
             ),
+            TopologyError::ZeroRounds => {
+                write!(f, "the multi-round pipeline needs at least one round")
+            }
+            TopologyError::Budget(e) => write!(f, "budget error: {e}"),
             TopologyError::Graph(e) => write!(f, "graph error: {e}"),
         }
     }
@@ -64,6 +73,7 @@ impl Error for TopologyError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             TopologyError::Graph(e) => Some(e),
+            TopologyError::Budget(e) => Some(e),
             _ => None,
         }
     }
@@ -72,6 +82,12 @@ impl Error for TopologyError {
 impl From<ksa_graphs::GraphError> for TopologyError {
     fn from(e: ksa_graphs::GraphError) -> Self {
         TopologyError::Graph(e)
+    }
+}
+
+impl From<ksa_graphs::budget::BudgetExceeded> for TopologyError {
+    fn from(e: ksa_graphs::budget::BudgetExceeded) -> Self {
+        TopologyError::Budget(e)
     }
 }
 
@@ -91,6 +107,12 @@ mod tests {
                 estimated: 1 << 40,
                 limit: 1 << 20,
             },
+            TopologyError::ZeroRounds,
+            TopologyError::Budget(
+                ksa_graphs::budget::RunBudget::new(1)
+                    .admit("rounds", 2)
+                    .unwrap_err(),
+            ),
             TopologyError::Graph(ksa_graphs::GraphError::EmptyProcessSet),
         ];
         for e in errs {
@@ -101,6 +123,15 @@ mod tests {
     #[test]
     fn graph_error_has_source() {
         let e = TopologyError::from(ksa_graphs::GraphError::EmptyProcessSet);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn budget_error_has_source() {
+        let exceeded = ksa_graphs::budget::RunBudget::new(1)
+            .admit("rounds", 2)
+            .unwrap_err();
+        let e = TopologyError::from(exceeded);
         assert!(e.source().is_some());
     }
 }

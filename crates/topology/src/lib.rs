@@ -24,7 +24,10 @@
 //! * [`uninterpreted`] — the uninterpreted simplex/complex of graphs and
 //!   closed-above models (Defs 4.3–4.4, Lemma 4.8);
 //! * [`interpretation`] — interpretations over an input complex
-//!   (Defs 4.13–4.14): the protocol complexes themselves.
+//!   (Defs 4.13–4.14): the one-round protocol complexes themselves;
+//! * [`rounds`] / [`intern`] — multi-round protocol complexes by
+//!   iterated interpretation, with each round's views hash-consed into a
+//!   `u32`-keyed arena (the §6 iteration story; DESIGN.md §6).
 //!
 //! ## Quick example
 //!
@@ -52,14 +55,17 @@ pub mod connectivity;
 pub mod error;
 pub mod gf2;
 pub mod homology;
+pub mod intern;
 pub mod interpretation;
 pub mod join;
 pub mod nerve;
 pub mod pseudosphere;
+pub mod rounds;
 pub mod shelling;
 pub mod simplex;
 pub mod uninterpreted;
 
 pub use complex::Complex;
 pub use error::TopologyError;
+pub use rounds::{protocol_complex_rounds, protocol_complex_rounds_seq, RoundsComplex};
 pub use simplex::{Simplex, Vertex, View};

@@ -280,6 +280,83 @@ mod tests {
         assert_eq!(is_shellable(&c), Err(TopologyError::NotPure));
     }
 
+    // ------------------------------------------------------------------
+    // step_ok edge cases: the exact shelling condition, beyond the happy
+    // paths of Figure 4.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn step_ok_rejects_empty_prior() {
+        // The first facet has no condition to satisfy — but step_ok on an
+        // empty prior must say "no" (nothing to glue to), which is why
+        // is_shelling_order starts checking at t = 1.
+        assert!(!step_ok::<u32>(&[], &simplex(&[0, 1, 2])));
+    }
+
+    #[test]
+    fn step_ok_zero_dimensional_facets() {
+        // A pure 0-complex: d − 1 = −1, but intersections of distinct
+        // vertices are empty and get filtered — never shellable beyond
+        // one facet.
+        let v0 = simplex(&[0]);
+        let v1 = simplex(&[1]);
+        assert!(!step_ok(std::slice::from_ref(&v0), &v1));
+        // A repeated facet meets itself in dimension 0 ≠ −1: also no.
+        assert!(!step_ok(std::slice::from_ref(&v0), &v0));
+        // And through the public API: two isolated vertices are not a
+        // shelling order, one vertex alone is.
+        assert!(!is_shelling_order(&[v0.clone(), v1]).unwrap());
+        assert!(is_shelling_order(std::slice::from_ref(&v0)).unwrap());
+    }
+
+    #[test]
+    fn step_ok_duplicate_maximal_intersections() {
+        // Two prior facets meeting the new one in the *same* (d−1)-face:
+        // the duplicate must collapse (containment check), leaving one
+        // maximal intersection of the right dimension — accepted.
+        let t1 = simplex(&[0, 1, 2]);
+        let t2 = simplex(&[0, 1, 3]);
+        let new = simplex(&[0, 1, 4]);
+        assert!(step_ok(&[t1.clone(), t2.clone()], &new));
+        // The full order verifies too.
+        assert!(is_shelling_order(&[t1, t2, new]).unwrap());
+    }
+
+    #[test]
+    fn step_ok_pure_but_wrong_dimensional_intersection() {
+        // The intersection complex can be pure and non-empty yet of
+        // dimension d − 2 instead of d − 1: a single shared vertex
+        // between triangles (Figure 4b's failure, isolated here at the
+        // step level).
+        let prior = simplex(&[0, 3, 4]);
+        let new = simplex(&[0, 1, 2]);
+        assert!(!step_ok(std::slice::from_ref(&prior), &new));
+    }
+
+    #[test]
+    fn step_ok_mixed_dimensional_intersections() {
+        // One prior facet meets new in a (d−1)-face, another in a lone
+        // vertex not contained in that face: the intersection is impure —
+        // rejected even though a full-dimensional glue exists.
+        let good = simplex(&[0, 1, 5]);
+        let bad = simplex(&[2, 6, 7]);
+        let new = simplex(&[0, 1, 2]);
+        assert!(step_ok(std::slice::from_ref(&good), &new));
+        assert!(!step_ok(&[good, bad], &new));
+    }
+
+    #[test]
+    fn step_ok_containment_is_not_commutative_confusion() {
+        // The maximality filter must keep the larger of nested
+        // intersections: prior facets meeting new in an edge and in a
+        // vertex *of that edge* still shell (the vertex intersection is
+        // dominated, not impure).
+        let edge_glue = simplex(&[0, 1, 5]);
+        let vertex_of_edge = simplex(&[1, 6, 7]);
+        let new = simplex(&[0, 1, 2]);
+        assert!(step_ok(&[edge_glue, vertex_of_edge], &new));
+    }
+
     #[test]
     fn octahedron_boundary_is_shellable() {
         // Pseudosphere with binary views: the octahedron (2-sphere), a

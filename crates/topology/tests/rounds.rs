@@ -1,0 +1,91 @@
+//! The round-1 anchor: `protocol_complex_rounds(…, 1)` must reproduce
+//! the seed's `protocol_complex_one_round` **bit for bit** on randomized
+//! closed-above models — facet sets (after expanding the interned views)
+//! and Betti numbers alike. This pins the new multi-round subsystem to
+//! the one-round semantics the paper's Thm 5.4 machinery was verified
+//! against (DESIGN.md §6).
+//!
+//! Runs under every feature combination: with `parallel` off both entry
+//! points are sequential; with it on, the anchor doubles as an
+//! end-to-end determinism check of the parallel pipeline against the
+//! seed implementation.
+
+use ksa_graphs::Digraph;
+use ksa_topology::complex::Complex;
+use ksa_topology::homology::reduced_betti_numbers;
+use ksa_topology::interpretation::protocol_complex_one_round;
+use ksa_topology::pseudosphere::Pseudosphere;
+use ksa_topology::rounds::{protocol_complex_rounds, protocol_complex_rounds_seq};
+use proptest::prelude::*;
+
+const BUDGET: u128 = 10_000_000;
+
+/// Strategy: 1–3 random generator graphs on 3 processes (self-loops are
+/// implicit; Digraph adds them).
+fn random_generators() -> impl Strategy<Value = Vec<Digraph>> {
+    let graph = prop::collection::btree_set((0usize..3, 0usize..3), 0..7)
+        .prop_map(|edges| Digraph::from_edges(3, &edges.into_iter().collect::<Vec<_>>()).unwrap());
+    prop::collection::vec(graph, 1..=3)
+}
+
+/// Strategy: a chromatic input complex on 3 processes — a pseudosphere
+/// with 1–2 admissible values per process (the closed-above models'
+/// input shape; facets carry every color).
+fn random_input() -> impl Strategy<Value = Complex<u32>> {
+    prop::collection::vec(prop::collection::btree_set(0u32..3, 1..=2), 3..=3).prop_map(|views| {
+        Pseudosphere::new(
+            views
+                .into_iter()
+                .enumerate()
+                .map(|(p, vs)| (p, vs.into_iter().collect()))
+                .collect(),
+        )
+        .unwrap()
+        .to_complex()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The anchor itself: expanded round-1 facet sets are identical to
+    /// the one-round seed implementation.
+    #[test]
+    fn round_one_facets_match_the_seed(
+        gens in random_generators(),
+        input in random_input(),
+    ) {
+        let rc = protocol_complex_rounds(&gens, &input, 1, BUDGET).unwrap();
+        let direct = protocol_complex_one_round(&gens, &input, BUDGET).unwrap();
+        prop_assert_eq!(rc.expand_round_one(), direct);
+    }
+
+    /// And the homology agrees on the interned representation directly:
+    /// hash-consing relabels views injectively, so the Betti numbers of
+    /// the `Complex<u32>` equal those of the materialized complex.
+    #[test]
+    fn round_one_betti_match_the_seed(
+        gens in random_generators(),
+        input in random_input(),
+    ) {
+        let rc = protocol_complex_rounds(&gens, &input, 1, BUDGET).unwrap();
+        let direct = protocol_complex_one_round(&gens, &input, BUDGET).unwrap();
+        prop_assert_eq!(
+            reduced_betti_numbers(rc.complex_at(1).unwrap()),
+            reduced_betti_numbers(&direct)
+        );
+    }
+
+    /// The sequential reference is pinned to the same anchor (with the
+    /// `parallel` feature off this is the same code path; with it on it
+    /// keeps the reference honest independently of the parallel entry).
+    #[test]
+    fn sequential_reference_matches_the_seed(
+        gens in random_generators(),
+        input in random_input(),
+    ) {
+        let rc = protocol_complex_rounds_seq(&gens, &input, 1, BUDGET).unwrap();
+        let direct = protocol_complex_one_round(&gens, &input, BUDGET).unwrap();
+        prop_assert_eq!(rc.expand_round_one(), direct);
+    }
+}

@@ -35,14 +35,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // --- Bounds across rounds for the model zoo --------------------------
-    println!("\n== bounds as rounds grow ==");
-    for (name, model) in [
-        ("symmetric ring n=5", models::named::symmetric_ring(5)?),
-        ("star unions n=5 s=2", models::named::star_unions(5, 2)?),
+    // --- Bounds as rounds grow, cross-checked topologically ---------------
+    // The combinatorial bounds (Thm 6.10/6.11) predict how connected the
+    // r-round protocol complex must be; the iterated-interpretation
+    // pipeline (ksa_topology::rounds) builds those complexes with interned
+    // views and measures the connectivity. The cross-check report carries
+    // both sides — and the bounds table alongside.
+    println!("\n== bounds as rounds grow (homology-cross-checked, n = 3 zoo) ==");
+    for (name, model, rounds) in [
+        ("simple ring ↑C3", models::named::simple_ring(3)?, 3usize),
+        ("symmetric ring n=3", models::named::symmetric_ring(3)?, 2),
+        ("star unions n=3 s=1", models::named::star_unions(3, 1)?, 2),
     ] {
         println!("{name}:");
-        for r in 1..=3 {
+        for r in 1..=rounds {
             let rep = BoundsReport::compute(&model, r)?;
             let up = rep.best_upper().expect("exists").k;
             let lo = rep
@@ -51,6 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .unwrap_or_else(|| "-".into());
             println!("  r = {r}: solvable {up}-set, impossible {lo}-set");
         }
+        let sweep =
+            core::bounds::cross_check::cross_check_round_sweep(&model, 1, rounds, 100_000_000u128)?;
+        assert!(sweep.is_consistent(), "topology contradicts the bounds");
+        print!("{sweep}");
     }
     println!("\nstar unions refuse to improve with rounds (Thm 6.13):");
     let stars = models::named::star_unions(5, 2)?;
