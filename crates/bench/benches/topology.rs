@@ -1,17 +1,19 @@
 //! Criterion benches of the topology substrate: pseudosphere
-//! materialization, homology, protocol-complex construction and
-//! connectivity verification.
+//! materialization, homology (the chain engine's tracked microbench),
+//! protocol-complex construction and connectivity verification.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ksa_core::task::input_complex;
 use ksa_core::verify::verify_protocol_connectivity;
 use ksa_graphs::families;
 use ksa_models::named;
-use ksa_topology::connectivity::homological_connectivity;
+use ksa_topology::complex::Complex;
+use ksa_topology::connectivity::{connectivity, connectivity_up_to, homological_connectivity};
 use ksa_topology::homology::reduced_betti_numbers;
 use ksa_topology::pseudosphere::Pseudosphere;
+use ksa_topology::rounds::protocol_complex_rounds;
 use ksa_topology::shelling::find_shelling_order;
-use ksa_topology::uninterpreted::closed_above_pseudosphere;
+use ksa_topology::uninterpreted::{closed_above_pseudosphere, closed_above_uninterpreted_complex};
 use std::hint::black_box;
 
 fn bench_pseudosphere_materialization(c: &mut Criterion) {
@@ -40,6 +42,60 @@ fn bench_homology(c: &mut Criterion) {
     let un = closed_above_pseudosphere(&families::cycle(4).expect("valid")).to_complex();
     group.bench_function("uninterpreted_C4_closure", |b| {
         b.iter(|| homological_connectivity(black_box(&un)))
+    });
+    group.finish();
+}
+
+/// The chain engine's tracked microbench (DESIGN.md §7): Betti numbers,
+/// full connectivity and early-exit `connectivity_up_to` on the n=3–4
+/// zoo's uninterpreted complexes and on a 2-round iterated protocol
+/// complex — the shapes that dominate the `rounds`/`thm412`/`thm54`
+/// experiment wall times.
+fn bench_homology_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("homology");
+    group.sample_size(20);
+    let zoo: Vec<(&str, Complex<ksa_graphs::ProcSet>)> = vec![
+        (
+            "stars_n3_s1",
+            closed_above_uninterpreted_complex(
+                named::star_unions(3, 1).expect("valid").generators(),
+                2_000_000,
+            )
+            .expect("in budget"),
+        ),
+        (
+            "ring_n4",
+            closed_above_uninterpreted_complex(
+                named::symmetric_ring(4).expect("valid").generators(),
+                2_000_000,
+            )
+            .expect("in budget"),
+        ),
+    ];
+    for (name, complex) in &zoo {
+        group.bench_with_input(BenchmarkId::new("betti", name), complex, |b, cx| {
+            b.iter(|| reduced_betti_numbers(black_box(cx)))
+        });
+        group.bench_with_input(BenchmarkId::new("connectivity", name), complex, |b, cx| {
+            b.iter(|| connectivity(black_box(cx)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("connectivity_up_to_1", name),
+            complex,
+            |b, cx| b.iter(|| connectivity_up_to(black_box(cx), 1)),
+        );
+    }
+    // A 2-round iterated-interpretation complex (the round sweep's shape).
+    let model = named::star_unions(3, 1).expect("valid");
+    let input = input_complex(3, 1, 100_000_000).expect("in budget");
+    let rc =
+        protocol_complex_rounds(model.generators(), &input, 2, 100_000_000u128).expect("in budget");
+    let round2 = rc.complex_at(2).expect("materialized").clone();
+    group.bench_function("betti/stars_n3_s1_round2", |b| {
+        b.iter(|| reduced_betti_numbers(black_box(&round2)))
+    });
+    group.bench_function("connectivity_up_to_1/stars_n3_s1_round2", |b| {
+        b.iter(|| connectivity_up_to(black_box(&round2), 1))
     });
     group.finish();
 }
@@ -93,6 +149,7 @@ criterion_group!(
     benches,
     bench_pseudosphere_materialization,
     bench_homology,
+    bench_homology_engine,
     bench_protocol_complex,
     bench_input_complex,
     bench_shelling

@@ -25,8 +25,7 @@ use crate::budget::RunBudget;
 use crate::error::CoreError;
 use crate::task::input_complex;
 use ksa_models::ClosedAboveModel;
-use ksa_topology::connectivity::homological_connectivity;
-use ksa_topology::homology::reduced_betti_numbers;
+use ksa_topology::connectivity::Connectivity;
 use ksa_topology::rounds::protocol_complex_rounds;
 use std::fmt;
 
@@ -127,20 +126,29 @@ pub fn cross_check_round_sweep(
     let n = ksa_models::ObliviousModel::n(model);
     let input = input_complex(n, value_max, budget.max_executions)?;
     let rc = protocol_complex_rounds(model.generators(), &input, rounds, budget)?;
+    // One chain-engine sweep over all rounds: each round's Betti numbers
+    // and connectivity share a single closure/rank pass, and reduced row
+    // bases carry over between rounds whenever the complexes embed
+    // (DESIGN.md §7.3).
+    let homology = rc.homology_sweep();
     let mut per_round = Vec::with_capacity(rounds);
-    for r in 1..=rounds {
+    for (r, step) in (1..=rounds).zip(homology) {
         let complex = rc.complex_at(r).expect("round was materialized");
         let lower = best_lower_bound(model, r)?;
         let predicted_l = lower
             .as_ref()
             .map(|b| b.impossible_k as isize - 1)
             .unwrap_or(-1);
+        let measured_connectivity = match step.connectivity {
+            Connectivity::Empty => -2,
+            Connectivity::Exactly(k) | Connectivity::AtLeast(k) => k,
+        };
         per_round.push(RoundCrossCheck {
             round: r,
             lower,
             predicted_l,
-            measured_connectivity: homological_connectivity(complex),
-            betti: reduced_betti_numbers(complex),
+            measured_connectivity,
+            betti: step.betti,
             facets: complex.facet_count(),
             interned_views: rc.table_at(r).expect("round was materialized").len(),
         });

@@ -1,0 +1,910 @@
+//! The flat chain-complex engine: integer-id simplex arenas, sparse
+//! boundary reduction, early-exit connectivity, and rank reuse across
+//! skeleta and growing complexes (DESIGN.md §7).
+//!
+//! [`crate::homology`] and [`crate::connectivity`] used to re-derive the
+//! face closure per query, index simplexes through
+//! `HashMap<&Simplex, usize>`, and always rank every boundary operator up
+//! to the top dimension. This module replaces that substrate:
+//!
+//! * **Arenas** — [`ChainComplex::from_complex`] enumerates the face
+//!   closure once into per-dimension arenas: vertices are interned to
+//!   `u32` ids (positions in the sorted vertex table), a `k`-simplex is a
+//!   `(k+1)`-chunk of ascending ids, and each arena is the canonically
+//!   sorted, deduplicated flat `Vec<u32>` of its dimension's chunks. No
+//!   per-simplex hashing anywhere — faces are resolved by binary search
+//!   over the sorted bucket below.
+//! * **Sparse boundary reduction** — boundary operators are assembled as
+//!   sparse rows (the `k+1` face column ids of each `k`-simplex) and
+//!   ranked by an echelon-basis elimination (`Echelon`). The matrices are
+//!   ultra-sparse (`k+1` entries per row) with low fill-in on the
+//!   protocol complexes of the experiments, which makes this an order of
+//!   magnitude faster than dense bit-packed elimination
+//!   ([`crate::gf2::Gf2Matrix`] remains the dense engine and the
+//!   cross-check oracle).
+//! * **Laziness** — ranks are computed per dimension on demand and
+//!   cached, so [`ChainComplex::connectivity_up_to`] reduces `∂_1, ∂_2,
+//!   …` dimension by dimension and stops at the first non-zero Betti
+//!   number (or at `k+1`), and a Betti query after a connectivity query
+//!   pays only for the dimensions not yet reduced.
+//! * **Skeleton reuse** — `∂_j` of the `k`-skeleton *is* `∂_j` of the
+//!   parent for `j ≤ k`, so [`ChainComplex::skeleton_betti`] and
+//!   [`ChainComplex::skeleton_connectivity`] answer skeleton queries from
+//!   the parent's cached ranks without re-closing any faces.
+//! * **Cross-step rank reuse** — [`ChainSweep`] feeds a *sequence* of
+//!   complexes (the round sweep of [`crate::rounds`]) through the engine
+//!   and carries the reduced row bases forward whenever one step's
+//!   simplexes embed into the next step's (the boundary rows of the
+//!   shared simplexes are identical, so the echelon basis resumes with
+//!   only the fresh rows). When the embedding fails — measured to be the
+//!   common case for iterated-interpretation complexes, whose interned
+//!   ids reshuffle every round — it falls back to a fresh per-complex
+//!   reduction and says so.
+//!
+//! Determinism (DESIGN.md §4): with the `parallel` feature the closure
+//! enumeration fans out per facet and full-Betti queries fan out per
+//! dimension on `ksa-exec`; arenas are canonically sorted at the merge
+//! and ranks are properties of the matrices, so every verdict is
+//! bit-identical to the engine-free references
+//! ([`crate::homology::reduced_betti_numbers_seq`] and the scalar
+//! [`crate::gf2::Gf2Matrix::rank_seq`]) at any `KSA_THREADS` —
+//! proptest-pinned at pool sizes 1/2/8 in `tests/chain_engine.rs`.
+
+use crate::complex::Complex;
+use crate::connectivity::Connectivity;
+use crate::simplex::{Vertex, View};
+use std::collections::HashMap;
+
+#[cfg(feature = "parallel")]
+use ksa_exec::prelude::*;
+
+/// Facet count past which the closure enumeration fans out per facet
+/// (mirrors `complex.rs`: tiny complexes dominate the call profile and
+/// forking them costs more than enumerating them).
+#[cfg(feature = "parallel")]
+const PAR_FACET_GRAIN: usize = 16;
+
+/// A flat, canonically sorted bucket of same-dimension simplexes:
+/// `data` holds `count` consecutive `stride`-length chunks of ascending
+/// vertex ids, the chunks themselves in lexicographic order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Arena {
+    stride: usize,
+    data: Vec<u32>,
+}
+
+impl Arena {
+    fn count(&self) -> usize {
+        if self.stride == 0 {
+            return 0; // the empty placeholder arena
+        }
+        debug_assert!(self.data.len().is_multiple_of(self.stride));
+        self.data.len() / self.stride
+    }
+
+    fn row(&self, i: usize) -> &[u32] {
+        &self.data[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Binary search for the row equal to `chunk` with element `skip`
+    /// removed (the face lookup of the boundary assembly).
+    fn position_skipping(&self, chunk: &[u32], skip: usize) -> Option<usize> {
+        debug_assert_eq!(chunk.len(), self.stride + 1);
+        let (mut lo, mut hi) = (0usize, self.count());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let row = self.row(mid);
+            let mut ord = std::cmp::Ordering::Equal;
+            for (m, &r) in row.iter().enumerate() {
+                let c = chunk[m + usize::from(m >= skip)];
+                ord = r.cmp(&c);
+                if ord != std::cmp::Ordering::Equal {
+                    break;
+                }
+            }
+            match ord {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(mid),
+            }
+        }
+        None
+    }
+}
+
+/// Sorts a flat chunk vector lexicographically and removes duplicate
+/// chunks. The result depends only on the chunk *set*, which is what
+/// makes the parallel per-facet enumeration interchangeable with the
+/// sequential one.
+fn sort_dedup_chunks(data: Vec<u32>, stride: usize) -> Vec<u32> {
+    let n = data.len() / stride;
+    let chunk = |i: u32| &data[i as usize * stride..(i as usize + 1) * stride];
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    idx.sort_unstable_by(|&a, &b| chunk(a).cmp(chunk(b)));
+    let mut out: Vec<u32> = Vec::with_capacity(data.len());
+    for &i in &idx {
+        if out.is_empty() || out[out.len() - stride..] != *chunk(i) {
+            out.extend_from_slice(chunk(i));
+        }
+    }
+    out
+}
+
+/// A GF(2) row-echelon basis over sparse rows (ascending `u32` column
+/// ids), the shared rank kernel of [`ChainComplex`] and [`ChainSweep`].
+///
+/// `absorb` reduces an incoming row against the basis by its
+/// leading column and either inserts it (rank grows) or cancels it to
+/// zero (dependent). The basis size is the rank of everything absorbed —
+/// a value independent of absorption order, though the engine always
+/// absorbs in canonical arena order so intermediate bases are
+/// reproducible too.
+#[derive(Debug, Clone, Default)]
+struct Echelon {
+    rows: Vec<Vec<u32>>,
+    /// `pivot_of[col]`: index into `rows` of the basis row leading with
+    /// `col`, or `u32::MAX`. Grows on demand (the sweep's column space
+    /// is open-ended).
+    pivot_of: Vec<u32>,
+}
+
+impl Echelon {
+    /// Absorbs one sparse row; returns whether the rank grew.
+    fn absorb(&mut self, mut row: Vec<u32>) -> bool {
+        loop {
+            let Some(&lead) = row.first() else {
+                return false;
+            };
+            if self.pivot_of.len() <= lead as usize {
+                self.pivot_of.resize(lead as usize + 1, u32::MAX);
+            }
+            let p = self.pivot_of[lead as usize];
+            if p == u32::MAX {
+                self.pivot_of[lead as usize] = self.rows.len() as u32;
+                self.rows.push(row);
+                return true;
+            }
+            row = symm_diff(&row, &self.rows[p as usize]);
+        }
+    }
+
+    fn rank(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// The symmetric difference of two ascending id lists (GF(2) row XOR).
+fn symm_diff(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// A simplicial complex flattened for homology: per-dimension integer-id
+/// arenas plus lazily computed, cached boundary ranks.
+///
+/// Build one with [`ChainComplex::from_complex`] (or
+/// [`Complex::chain`]) and ask it for Betti numbers and connectivity;
+/// every query over the same complex shares the arenas and the rank
+/// cache, so e.g. a full [`ChainComplex::reduced_betti`] after a
+/// [`ChainComplex::connectivity`] costs only the dimensions the
+/// early-exit scan never reached.
+///
+/// # Examples
+///
+/// ```
+/// use ksa_topology::chain::ChainComplex;
+/// use ksa_topology::complex::Complex;
+/// use ksa_topology::connectivity::Connectivity;
+/// use ksa_topology::simplex::{Simplex, Vertex};
+///
+/// let tet = Simplex::new((0..4).map(|c| Vertex::new(c, ())).collect()).unwrap();
+/// let mut sphere = ChainComplex::from_complex(&Complex::boundary_of(&tet));
+/// assert_eq!(sphere.reduced_betti(), vec![0, 0, 1]);
+/// assert_eq!(sphere.connectivity(), Connectivity::Exactly(1));
+/// // The 1-skeleton (the K4 graph) answers from the same arenas:
+/// assert_eq!(sphere.skeleton_betti(1), vec![0, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChainComplex {
+    /// `arenas[k]`: the k-simplexes. Empty vector ⇔ void complex.
+    arenas: Vec<Arena>,
+    /// `ranks[k]`: cached rank of `∂_k` (`∂_0` = augmentation,
+    /// `∂_{dim+1}` = 0); length `dim + 2` for a non-void complex.
+    ranks: Vec<Option<usize>>,
+}
+
+impl ChainComplex {
+    /// Flattens a complex: interns its vertices, enumerates the face
+    /// closure once into per-dimension arenas (parallel per facet past a
+    /// small grain under the `parallel` feature; the canonical sort at
+    /// the merge makes both paths bit-identical).
+    pub fn from_complex<V: View>(complex: &Complex<V>) -> Self {
+        if complex.is_void() {
+            return ChainComplex {
+                arenas: Vec::new(),
+                ranks: Vec::new(),
+            };
+        }
+        let verts: Vec<Vertex<V>> = complex.vertices();
+        let dim = complex.dim() as usize;
+        let facet_ids: Vec<Vec<u32>> = complex
+            .facets()
+            .map(|f| {
+                f.vertices()
+                    .iter()
+                    .map(|v| verts.binary_search(v).expect("facet vertex is interned") as u32)
+                    .collect()
+            })
+            .collect();
+
+        let raw: Vec<Vec<u32>>;
+        #[cfg(feature = "parallel")]
+        {
+            raw = if facet_ids.len() >= PAR_FACET_GRAIN {
+                let per_facet: Vec<Vec<Vec<u32>>> = facet_ids
+                    .par_iter()
+                    .map(|ids| facet_subsets(ids, dim))
+                    .collect();
+                let mut acc: Vec<Vec<u32>> = vec![Vec::new(); dim + 1];
+                for group in per_facet {
+                    for (k, chunk) in group.into_iter().enumerate() {
+                        acc[k].extend(chunk);
+                    }
+                }
+                acc
+            } else {
+                closure_seq(&facet_ids, dim)
+            };
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            raw = closure_seq(&facet_ids, dim);
+        }
+
+        let arenas: Vec<Arena> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(k, data)| Arena {
+                stride: k + 1,
+                data: sort_dedup_chunks(data, k + 1),
+            })
+            .collect();
+        let mut ranks = vec![None; dim + 2];
+        ranks[0] = Some(1); // augmentation on a non-void complex
+        ranks[dim + 1] = Some(0);
+        ChainComplex { arenas, ranks }
+    }
+
+    /// Whether the underlying complex was void.
+    pub fn is_void(&self) -> bool {
+        self.arenas.is_empty()
+    }
+
+    /// The complex's dimension (`−1` when void).
+    pub fn dim(&self) -> isize {
+        self.arenas.len() as isize - 1
+    }
+
+    /// Number of `k`-simplexes in the closure (0 outside `0..=dim`).
+    pub fn simplex_count(&self, k: usize) -> usize {
+        self.arenas.get(k).map_or(0, Arena::count)
+    }
+
+    /// The sparse boundary rows of `∂_k`: row `r` holds the ascending
+    /// arena positions (in dimension `k−1`) of the faces of the `r`-th
+    /// `k`-simplex.
+    fn boundary_rows(&self, k: usize) -> Vec<Vec<u32>> {
+        let (upper, lower) = (&self.arenas[k], &self.arenas[k - 1]);
+        (0..upper.count())
+            .map(|r| {
+                let chunk = upper.row(r);
+                let mut row: Vec<u32> = (0..chunk.len())
+                    .map(|skip| {
+                        lower
+                            .position_skipping(chunk, skip)
+                            .expect("closure contains every face") as u32
+                    })
+                    .collect();
+                row.sort_unstable();
+                row
+            })
+            .collect()
+    }
+
+    /// Computes the rank of `∂_k` without touching the cache (pure, so
+    /// the parallel Betti fan-out can share `&self`).
+    fn compute_rank(&self, k: usize) -> usize {
+        let mut ech = Echelon::default();
+        for row in self.boundary_rows(k) {
+            ech.absorb(row);
+        }
+        ech.rank()
+    }
+
+    /// The cached rank of `∂_k`, reducing it on first use.
+    fn rank_boundary(&mut self, k: usize) -> usize {
+        if let Some(r) = self.ranks[k] {
+            return r;
+        }
+        let r = self.compute_rank(k);
+        self.ranks[k] = Some(r);
+        r
+    }
+
+    /// The reduced Betti number `b̃_k = c_k − rank ∂_k − rank ∂_{k+1}`.
+    fn betti_at(&mut self, k: usize) -> usize {
+        self.simplex_count(k) - self.rank_boundary(k) - self.rank_boundary(k + 1)
+    }
+
+    /// The full reduced Z/2 Betti vector `b̃_0, …, b̃_dim` (empty for the
+    /// void complex). With the `parallel` feature, the not-yet-cached
+    /// boundary reductions fan out per dimension on `ksa-exec`.
+    pub fn reduced_betti(&mut self) -> Vec<usize> {
+        if self.is_void() {
+            return Vec::new();
+        }
+        let dim = self.arenas.len() - 1;
+        #[cfg(feature = "parallel")]
+        {
+            let missing: Vec<usize> = (1..=dim).filter(|&k| self.ranks[k].is_none()).collect();
+            if missing.len() > 1 {
+                let this: &Self = self;
+                let computed: Vec<usize> =
+                    missing.par_iter().map(|&k| this.compute_rank(k)).collect();
+                for (&k, r) in missing.iter().zip(computed) {
+                    self.ranks[k] = Some(r);
+                }
+            }
+        }
+        (0..=dim).map(|k| self.betti_at(k)).collect()
+    }
+
+    /// The homological [`Connectivity`] verdict, reducing boundaries
+    /// dimension by dimension and stopping at the first non-zero Betti
+    /// number.
+    pub fn connectivity(&mut self) -> Connectivity {
+        self.connectivity_up_to(self.dim())
+    }
+
+    /// Early-exit connectivity: decides the verdict *up to* `k`. Reduces
+    /// `∂_1, ∂_2, …` lazily and returns
+    ///
+    /// * [`Connectivity::Empty`] for the void complex;
+    /// * `Exactly(c)` with `c < min(k, dim)` — exact, agrees with the
+    ///   full [`ChainComplex::connectivity`];
+    /// * `AtLeast(min(k, dim))` when every reduced Betti number through
+    ///   `min(k, dim)` vanishes — the reduction stopped there, so higher
+    ///   homology is deliberately left unexamined (DESIGN.md §7).
+    ///
+    /// The cross-checks only ever need `measured ≥ predicted l` for
+    /// small `l`, which is exactly the query this answers without paying
+    /// for the top-dimension ranks.
+    pub fn connectivity_up_to(&mut self, k: isize) -> Connectivity {
+        if self.is_void() {
+            return Connectivity::Empty;
+        }
+        // Clamp below at −1: any non-void complex is (−1)-connected, and
+        // `AtLeast(c)` with `c < −1` is outside the verdict's domain.
+        let cap = k.min(self.dim()).max(-1);
+        for j in 0..=cap {
+            if self.betti_at(j as usize) != 0 {
+                return Connectivity::Exactly(j - 1);
+            }
+        }
+        Connectivity::AtLeast(cap)
+    }
+
+    /// The reduced Betti vector of the `k`-skeleton, answered from the
+    /// parent's arenas and rank cache: `∂_j` of the skeleton *is* `∂_j`
+    /// of the parent for `j ≤ k`, and the skeleton's top dimension has no
+    /// `(k+1)`-simplexes, so `b̃_k = c_k − rank ∂_k`. No face re-closure,
+    /// no new matrices — agrees with
+    /// `reduced_betti_numbers(&complex.skeleton(k))` bit for bit.
+    pub fn skeleton_betti(&mut self, k: isize) -> Vec<usize> {
+        if self.is_void() || k < 0 {
+            return Vec::new();
+        }
+        if k >= self.dim() {
+            return self.reduced_betti();
+        }
+        let kk = k as usize;
+        let mut betti: Vec<usize> = (0..kk).map(|j| self.betti_at(j)).collect();
+        betti.push(self.simplex_count(kk) - self.rank_boundary(kk));
+        betti
+    }
+
+    /// The connectivity verdict of the `k`-skeleton, from the parent's
+    /// cached ranks (see [`ChainComplex::skeleton_betti`]). Agrees with
+    /// `connectivity(&complex.skeleton(k))`.
+    pub fn skeleton_connectivity(&mut self, k: isize) -> Connectivity {
+        if self.is_void() || k < 0 {
+            return Connectivity::Empty;
+        }
+        let cap = k.min(self.dim());
+        for j in 0..cap {
+            if self.betti_at(j as usize) != 0 {
+                return Connectivity::Exactly(j - 1);
+            }
+        }
+        // Top skeleton dimension: kernel dimension only.
+        if self.simplex_count(cap as usize) - self.rank_boundary(cap as usize) != 0 {
+            return Connectivity::Exactly(cap - 1);
+        }
+        Connectivity::AtLeast(cap)
+    }
+
+    /// Re-keys the arenas into a caller-supplied vertex-id space: chunk
+    /// values map through `map` and chunks re-sort under the new ids.
+    /// Used by [`ChainSweep`] to compare arenas across complexes.
+    fn rekeyed_arenas(&self, map: &[u32]) -> Vec<Arena> {
+        self.arenas
+            .iter()
+            .map(|a| {
+                let mut data = Vec::with_capacity(a.data.len());
+                for i in 0..a.count() {
+                    let mut chunk: Vec<u32> = a.row(i).iter().map(|&v| map[v as usize]).collect();
+                    chunk.sort_unstable();
+                    data.extend(chunk);
+                }
+                Arena {
+                    stride: a.stride,
+                    data: sort_dedup_chunks(data, a.stride),
+                }
+            })
+            .collect()
+    }
+}
+
+/// The per-dimension subset chunks one facet contributes to the closure.
+fn facet_subsets(ids: &[u32], dim: usize) -> Vec<Vec<u32>> {
+    let m = ids.len();
+    let mut acc: Vec<Vec<u32>> = vec![Vec::new(); dim + 1];
+    for mask in 1u64..(1u64 << m) {
+        let k = mask.count_ones() as usize - 1;
+        let bucket = &mut acc[k];
+        for (i, &id) in ids.iter().enumerate() {
+            if (mask >> i) & 1 == 1 {
+                bucket.push(id);
+            }
+        }
+    }
+    acc
+}
+
+/// Sequential closure enumeration over all facets.
+fn closure_seq(facet_ids: &[Vec<u32>], dim: usize) -> Vec<Vec<u32>> {
+    let mut acc: Vec<Vec<u32>> = vec![Vec::new(); dim + 1];
+    for ids in facet_ids {
+        for (k, chunk) in facet_subsets(ids, dim).into_iter().enumerate() {
+            acc[k].extend(chunk);
+        }
+    }
+    acc
+}
+
+/// One step of a [`ChainSweep`]: the complex's homology verdicts plus
+/// whether the engine resumed the previous step's row bases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepStep {
+    /// The reduced Z/2 Betti numbers of this step's complex.
+    pub betti: Vec<usize>,
+    /// The homological connectivity verdict (derived from `betti`, so
+    /// identical to [`crate::connectivity::connectivity`] on the same
+    /// complex).
+    pub connectivity: Connectivity,
+    /// Whether this step's ranks resumed the previous step's reduced row
+    /// bases (the cross-step embedding held) instead of reducing from
+    /// scratch.
+    pub resumed: bool,
+}
+
+/// Rank reuse across a *sequence* of complexes (the round sweep): when
+/// step `t`'s simplexes all appear in step `t+1` — checked exactly, per
+/// dimension, in a shared vertex-id space — the boundary rows of the
+/// shared simplexes are identical, so step `t`'s echelon bases absorb
+/// only the fresh rows and the ranks resume instead of restarting.
+///
+/// When the embedding fails (iterated-interpretation complexes re-intern
+/// their views every round, so their raw id patterns rarely nest — see
+/// DESIGN.md §7.3), the step falls back to a fresh [`ChainComplex`]
+/// reduction; the subset check is a linear merge over the arenas, so the
+/// fallback costs no more than not having a sweep at all. Either way the
+/// verdicts are exactly those of the per-complex engine.
+///
+/// # Examples
+///
+/// ```
+/// use ksa_topology::chain::ChainSweep;
+/// use ksa_topology::complex::Complex;
+/// use ksa_topology::simplex::{Simplex, Vertex};
+///
+/// let tri = |a: usize, b: usize, c: usize| {
+///     Simplex::new(vec![
+///         Vertex::new(a, ()), Vertex::new(b, ()), Vertex::new(c, ()),
+///     ]).unwrap()
+/// };
+/// // A growing filtration: each step contains the previous one.
+/// let steps = [
+///     Complex::from_facets(vec![tri(0, 1, 2)]),
+///     Complex::from_facets(vec![tri(0, 1, 2), tri(1, 2, 3)]),
+///     Complex::from_facets(vec![tri(0, 1, 2), tri(1, 2, 3), tri(2, 3, 4)]),
+/// ];
+/// let mut sweep = ChainSweep::new();
+/// let first = sweep.push(&steps[0]);
+/// let second = sweep.push(&steps[1]);
+/// let third = sweep.push(&steps[2]);
+/// assert!(!first.resumed);  // nothing to resume from
+/// assert!(!second.resumed); // first embedding step builds the bases…
+/// assert!(third.resumed);   // …which later steps extend in place
+/// assert_eq!(third.betti, vec![0, 0, 0]); // glued disks stay acyclic
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ChainSweep<V: View> {
+    /// Global vertex interner (append-only, first-appearance order), the
+    /// shared id space that makes arenas comparable across steps.
+    vert_ids: HashMap<Vertex<V>, u32>,
+    /// Previous step's arenas, re-keyed to global vertex ids.
+    prev: Option<Vec<Arena>>,
+    /// Per-dimension global column interners (dimension `k` holds the
+    /// `k`-simplexes seen as *faces*, i.e. columns of some `∂_{k+1}`).
+    cols: Vec<HashMap<Vec<u32>, u32>>,
+    /// Warm per-dimension bases spanning exactly the previous step's
+    /// boundary rows; `None` while cold (after a fallback).
+    bases: Option<Vec<Echelon>>,
+}
+
+impl<V: View> ChainSweep<V> {
+    /// A fresh sweep with no history.
+    pub fn new() -> Self {
+        ChainSweep {
+            vert_ids: HashMap::new(),
+            prev: None,
+            cols: Vec::new(),
+            bases: None,
+        }
+    }
+
+    /// Feeds the next complex of the sequence through the engine.
+    pub fn push(&mut self, complex: &Complex<V>) -> SweepStep {
+        let mut chain = ChainComplex::from_complex(complex);
+        if chain.is_void() {
+            self.prev = Some(Vec::new());
+            self.bases = None;
+            return SweepStep {
+                betti: Vec::new(),
+                connectivity: Connectivity::Empty,
+                resumed: false,
+            };
+        }
+
+        // Re-key this step's arenas into the sweep-global vertex space.
+        let verts = complex.vertices();
+        let map: Vec<u32> = verts
+            .iter()
+            .map(|v| {
+                let next = self.vert_ids.len() as u32;
+                *self.vert_ids.entry(v.clone()).or_insert(next)
+            })
+            .collect();
+        let cur = chain.rekeyed_arenas(&map);
+        let dim = cur.len() - 1;
+
+        let embeds = self.prev.as_ref().is_some_and(|prev| {
+            prev.len() <= cur.len()
+                && prev
+                    .iter()
+                    .zip(&cur)
+                    .all(|(p, c)| chunks_subset(&p.data, &c.data, p.stride))
+        });
+
+        let step = if embeds {
+            // Resume the bases when they survived from the last step
+            // (warm ⇒ they span exactly the previous step's boundary
+            // rows), or build them from scratch on the first embedding
+            // step after a cold start — either way by absorbing this
+            // step's rows that are not already in the span.
+            let warm = self.bases.is_some();
+            let mut bases = self.bases.take().unwrap_or_default();
+            bases.resize_with(dim + 1, Echelon::default);
+            if self.cols.len() < dim {
+                self.cols.resize_with(dim, HashMap::new);
+            }
+            let empty = Arena {
+                stride: 0,
+                data: Vec::new(),
+            };
+            for k in 1..=dim {
+                let prev_k = self.prev.as_ref().and_then(|p| p.get(k)).unwrap_or(&empty);
+                let skip_shared = warm && prev_k.count() > 0;
+                // Both arenas are sorted, so skipping the already-absorbed
+                // shared chunks is a single linear merge: `j` chases the
+                // current row through the previous arena.
+                let mut j = 0usize;
+                for i in 0..cur[k].count() {
+                    let chunk = cur[k].row(i);
+                    if skip_shared {
+                        while j < prev_k.count() && prev_k.row(j) < chunk {
+                            j += 1;
+                        }
+                        if j < prev_k.count() && prev_k.row(j) == chunk {
+                            j += 1;
+                            continue; // already absorbed in an earlier step
+                        }
+                    }
+                    let mut row: Vec<u32> = (0..chunk.len())
+                        .map(|skip| {
+                            let face: Vec<u32> = chunk
+                                .iter()
+                                .enumerate()
+                                .filter(|&(m, _)| m != skip)
+                                .map(|(_, &v)| v)
+                                .collect();
+                            let next = self.cols[k - 1].len() as u32;
+                            *self.cols[k - 1].entry(face).or_insert(next)
+                        })
+                        .collect();
+                    row.sort_unstable();
+                    bases[k].absorb(row);
+                }
+            }
+            // Betti from the resumed ranks; rank ∂_0 = 1, ∂_{dim+1} = 0.
+            let rank = |k: usize| -> usize {
+                if k == 0 {
+                    1
+                } else if k > dim {
+                    0
+                } else {
+                    bases[k].rank()
+                }
+            };
+            let betti: Vec<usize> = (0..=dim)
+                .map(|k| cur[k].count() - rank(k) - rank(k + 1))
+                .collect();
+            self.bases = Some(bases);
+            let connectivity = Connectivity::from_reduced_betti(&betti);
+            SweepStep {
+                betti,
+                connectivity,
+                resumed: warm,
+            }
+        } else {
+            // Fallback: fresh per-complex reduction, bases go cold.
+            self.bases = None;
+            let betti = chain.reduced_betti();
+            let connectivity = Connectivity::from_reduced_betti(&betti);
+            SweepStep {
+                betti,
+                connectivity,
+                resumed: false,
+            }
+        };
+
+        self.prev = Some(cur);
+        step
+    }
+}
+
+/// Whether every `stride`-chunk of sorted flat `a` appears in sorted flat
+/// `b` (a linear merge).
+fn chunks_subset(a: &[u32], b: &[u32], stride: usize) -> bool {
+    if stride == 0 {
+        return a.is_empty();
+    }
+    let (na, nb) = (a.len() / stride, b.len() / stride);
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < na {
+        let ca = &a[i * stride..(i + 1) * stride];
+        loop {
+            if j == nb {
+                return false;
+            }
+            let cb = &b[j * stride..(j + 1) * stride];
+            match cb.cmp(ca) {
+                std::cmp::Ordering::Less => j += 1,
+                std::cmp::Ordering::Equal => {
+                    j += 1;
+                    break;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        i += 1;
+    }
+    true
+}
+
+/// Maps a complex straight to its chain engine — sugar for
+/// [`ChainComplex::from_complex`].
+impl<V: View> From<&Complex<V>> for ChainComplex {
+    fn from(complex: &Complex<V>) -> Self {
+        ChainComplex::from_complex(complex)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homology::reduced_betti_numbers_seq;
+    use crate::simplex::Simplex;
+
+    fn simplex(colors: &[usize]) -> Simplex<u32> {
+        Simplex::new(colors.iter().map(|&c| Vertex::new(c, 0u32)).collect()).unwrap()
+    }
+
+    #[test]
+    fn arenas_enumerate_the_closure() {
+        let c = Complex::of_simplex(simplex(&[0, 1, 2]));
+        let chain = ChainComplex::from_complex(&c);
+        assert_eq!(chain.dim(), 2);
+        assert_eq!(chain.simplex_count(0), 3);
+        assert_eq!(chain.simplex_count(1), 3);
+        assert_eq!(chain.simplex_count(2), 1);
+        assert_eq!(chain.simplex_count(3), 0);
+    }
+
+    #[test]
+    fn betti_matches_the_seq_reference() {
+        let cases = vec![
+            Complex::of_simplex(simplex(&[0])),
+            Complex::boundary_of(&simplex(&[0, 1, 2])),
+            Complex::boundary_of(&simplex(&[0, 1, 2, 3])),
+            Complex::from_facets(vec![simplex(&[0, 1]), simplex(&[2, 3])]),
+            Complex::boundary_of(&simplex(&[0, 1, 2]))
+                .union(&Complex::boundary_of(&simplex(&[0, 3, 4]))),
+        ];
+        for c in cases {
+            let mut chain = ChainComplex::from_complex(&c);
+            assert_eq!(
+                chain.reduced_betti(),
+                reduced_betti_numbers_seq(&c),
+                "{c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn void_complex() {
+        let mut chain = ChainComplex::from_complex(&Complex::<u32>::void());
+        assert!(chain.is_void());
+        assert_eq!(chain.dim(), -1);
+        assert_eq!(chain.reduced_betti(), Vec::<usize>::new());
+        assert_eq!(chain.connectivity(), Connectivity::Empty);
+        assert_eq!(chain.skeleton_betti(1), Vec::<usize>::new());
+        assert_eq!(chain.skeleton_connectivity(1), Connectivity::Empty);
+    }
+
+    #[test]
+    fn early_exit_stops_at_the_first_hole() {
+        // Wedge of a circle and a 3-sphere: b̃ = [0, 1, 0, 1].
+        let circle = Complex::boundary_of(&simplex(&[0, 1, 2]));
+        let sphere = Complex::boundary_of(&simplex(&[2, 3, 4, 5, 6]));
+        let wedge = circle.union(&sphere);
+        let mut chain = ChainComplex::from_complex(&wedge);
+        assert_eq!(chain.connectivity_up_to(0), Connectivity::AtLeast(0));
+        assert_eq!(chain.connectivity_up_to(1), Connectivity::Exactly(0));
+        // The scan stopped at b̃_1 ≠ 0: ∂_3 was never reduced.
+        assert_eq!(chain.ranks[3], None);
+        assert_eq!(chain.connectivity(), Connectivity::Exactly(0));
+        assert_eq!(chain.reduced_betti(), vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn connectivity_up_to_caps_at_the_dimension() {
+        let solid = Complex::of_simplex(simplex(&[0, 1, 2]));
+        let mut chain = ChainComplex::from_complex(&solid);
+        assert_eq!(chain.connectivity_up_to(100), Connectivity::AtLeast(2));
+        assert_eq!(chain.connectivity_up_to(-1), Connectivity::AtLeast(-1));
+        // Below −1 the verdict clamps: AtLeast(−2) would leave the
+        // enum's domain (and read as "void" to numeric consumers).
+        assert_eq!(chain.connectivity_up_to(-7), Connectivity::AtLeast(-1));
+    }
+
+    #[test]
+    fn skeleton_queries_match_materialized_skeleta() {
+        let c = Complex::of_simplex(simplex(&[0, 1, 2, 3]));
+        let mut chain = ChainComplex::from_complex(&c);
+        for k in 0..=4 {
+            let sk = c.skeleton(k);
+            assert_eq!(
+                chain.skeleton_betti(k),
+                reduced_betti_numbers_seq(&sk),
+                "k = {k}"
+            );
+            assert_eq!(
+                chain.skeleton_connectivity(k),
+                crate::connectivity::connectivity(&sk),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_resumes_on_a_growing_filtration() {
+        // Grow a triangulated strip one triangle at a time.
+        let steps: Vec<Complex<u32>> = (1..=4)
+            .map(|t| Complex::from_facets((0..t).map(|i| simplex(&[i, i + 1, i + 2]))))
+            .collect();
+        let mut sweep = ChainSweep::new();
+        for (t, c) in steps.iter().enumerate() {
+            let step = sweep.push(c);
+            assert_eq!(step.betti, reduced_betti_numbers_seq(c), "step {t}");
+            // Step 0 has no history and step 1 builds the bases; from
+            // step 2 on the warm bases resume.
+            assert_eq!(step.resumed, t > 1, "step {t}");
+            assert_eq!(
+                step.connectivity,
+                crate::connectivity::connectivity(c),
+                "step {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_falls_back_when_the_embedding_breaks() {
+        let mut sweep = ChainSweep::new();
+        let a = Complex::boundary_of(&simplex(&[0, 1, 2]));
+        let b = Complex::boundary_of(&simplex(&[3, 4, 5])); // disjoint from a
+        assert!(!sweep.push(&a).resumed);
+        let second = sweep.push(&b); // a ⊄ b: fallback
+        assert!(!second.resumed);
+        assert_eq!(second.betti, reduced_betti_numbers_seq(&b));
+        // Growing again from b: the first embedding step warms the
+        // bases, the next one resumes them.
+        let c = b.union(&Complex::of_simplex(simplex(&[3, 4, 5])));
+        let third = sweep.push(&c);
+        assert!(!third.resumed);
+        assert_eq!(third.betti, reduced_betti_numbers_seq(&c));
+        let d = c.union(&Complex::of_simplex(simplex(&[5, 6])));
+        let fourth = sweep.push(&d);
+        assert!(fourth.resumed);
+        assert_eq!(fourth.betti, reduced_betti_numbers_seq(&d));
+    }
+
+    #[test]
+    fn sweep_handles_dimension_growth() {
+        let mut sweep = ChainSweep::new();
+        let edge = Complex::of_simplex(simplex(&[0, 1]));
+        let filled = edge.union(&Complex::of_simplex(simplex(&[0, 1, 2])));
+        let bigger = filled.union(&Complex::of_simplex(simplex(&[2, 3])));
+        assert!(!sweep.push(&edge).resumed);
+        let step = sweep.push(&filled);
+        assert!(!step.resumed); // warms the bases across the new dim 2
+        assert_eq!(step.betti, reduced_betti_numbers_seq(&filled));
+        let step = sweep.push(&bigger);
+        assert!(step.resumed);
+        assert_eq!(step.betti, reduced_betti_numbers_seq(&bigger));
+    }
+
+    #[test]
+    fn sweep_void_steps() {
+        let mut sweep = ChainSweep::new();
+        let void = Complex::<u32>::void();
+        let step = sweep.push(&void);
+        assert_eq!(step.betti, Vec::<usize>::new());
+        assert_eq!(step.connectivity, Connectivity::Empty);
+        // A void step resets history; the next complex reduces fresh.
+        let c = Complex::boundary_of(&simplex(&[0, 1, 2]));
+        let step = sweep.push(&c);
+        assert!(!step.resumed);
+        assert_eq!(step.betti, reduced_betti_numbers_seq(&c));
+    }
+}

@@ -239,6 +239,17 @@ impl<V: View> Complex<V> {
         Complex::from_facets(cands)
     }
 
+    /// Flattens the complex into its chain engine
+    /// ([`crate::chain::ChainComplex`]): the face closure enumerated once
+    /// into integer-id arenas, ready for (repeated, cached) homology and
+    /// connectivity queries. Prefer this over separate
+    /// [`reduced_betti_numbers`](crate::homology::reduced_betti_numbers)
+    /// / [`connectivity`](crate::connectivity::connectivity) calls when
+    /// you need more than one verdict for the same complex.
+    pub fn chain(&self) -> crate::chain::ChainComplex {
+        crate::chain::ChainComplex::from_complex(self)
+    }
+
     /// The Euler characteristic `Σ (−1)^dim` over non-empty simplexes.
     pub fn euler_characteristic(&self) -> i64 {
         let mut chi = 0i64;

@@ -15,8 +15,9 @@
 //!   (pseudospheres and their unions/intersections, Lemma 4.7) the verdicts
 //!   coincide. DESIGN.md records the substitution.
 
+use crate::chain::ChainComplex;
 use crate::complex::Complex;
-use crate::homology::{component_count, reduced_betti_numbers};
+use crate::homology::{component_count, reduced_betti_numbers_seq};
 use crate::simplex::View;
 
 /// The homological connectivity of a complex: the largest `k ≥ −1` such
@@ -34,9 +35,11 @@ pub enum Connectivity {
     /// Homologically `k`-connected but not `(k+1)`-connected, `k ≥ −1`
     /// (`Exactly(-1)` means non-empty but disconnected).
     Exactly(isize),
-    /// All reduced homology up to the complex's dimension vanishes: the
-    /// complex is homologically at least `dim`-connected (for our use
-    /// cases, "as connected as its dimension can show").
+    /// All reduced homology *examined* vanishes: through the complex's
+    /// dimension for a full [`connectivity`] query, or through the
+    /// caller's `k` for an early-exit [`connectivity_up_to`] query that
+    /// stopped there (DESIGN.md §7.2). Beyond the reported bound the
+    /// homology is unexamined, not known to vanish.
     AtLeast(isize),
 }
 
@@ -45,13 +48,33 @@ impl Connectivity {
     pub fn is_at_least(&self, k: isize) -> bool {
         match *self {
             Connectivity::Empty => false,
-            Connectivity::Exactly(c) => c >= k,
-            Connectivity::AtLeast(c) => c >= k,
+            Connectivity::Exactly(c) | Connectivity::AtLeast(c) => c >= k,
         }
+    }
+
+    /// The verdict encoded by a full reduced Betti vector: `Empty` for
+    /// the void complex (empty vector), `Exactly(k−1)` at the first
+    /// non-zero `b̃_k`, `AtLeast(dim)` when everything vanishes. This is
+    /// the bridge for callers that already hold the Betti numbers (the
+    /// round sweep) — by construction it agrees with [`connectivity`]
+    /// on the same complex.
+    pub fn from_reduced_betti(betti: &[usize]) -> Connectivity {
+        if betti.is_empty() {
+            return Connectivity::Empty;
+        }
+        for (k, &b) in betti.iter().enumerate() {
+            if b != 0 {
+                return Connectivity::Exactly(k as isize - 1);
+            }
+        }
+        Connectivity::AtLeast(betti.len() as isize - 1)
     }
 }
 
-/// Computes the [`Connectivity`] verdict of a complex.
+/// Computes the [`Connectivity`] verdict of a complex on the chain
+/// engine ([`crate::chain`]), reducing boundary operators dimension by
+/// dimension and stopping at the first non-vanishing reduced Betti
+/// number.
 ///
 /// # Examples
 ///
@@ -67,21 +90,49 @@ impl Connectivity {
 /// assert_eq!(connectivity(&Complex::boundary_of(&tet)), Connectivity::Exactly(1));
 /// ```
 pub fn connectivity<V: View>(complex: &Complex<V>) -> Connectivity {
+    ChainComplex::from_complex(complex).connectivity()
+}
+
+/// Early-exit connectivity: the verdict *up to* `k`. Reduces `∂_1, ∂_2,
+/// …` and stops at the first non-zero Betti number or at `k+1`, so
+/// cross-checks that only need `measured ≥ predicted l` for small `l`
+/// skip the top-dimension rank work entirely.
+///
+/// Agrees with the truncation of the full [`connectivity`] verdict: an
+/// `Exactly(c)` with `c < min(k, dim)` is exact, and an
+/// `AtLeast(min(k, dim))` means every examined Betti number vanished
+/// (DESIGN.md §7.2). For `k ≥ dim` it *is* the full verdict.
+///
+/// # Examples
+///
+/// ```
+/// use ksa_topology::complex::Complex;
+/// use ksa_topology::simplex::{Simplex, Vertex};
+/// use ksa_topology::connectivity::{connectivity_up_to, Connectivity};
+///
+/// let tet = Simplex::new((0..4).map(|c| Vertex::new(c, ())).collect()).unwrap();
+/// let sphere = Complex::boundary_of(&tet); // S², 1- but not 2-connected
+/// assert_eq!(connectivity_up_to(&sphere, 1), Connectivity::AtLeast(1));
+/// assert_eq!(connectivity_up_to(&sphere, 2), Connectivity::Exactly(1));
+/// ```
+pub fn connectivity_up_to<V: View>(complex: &Complex<V>, k: isize) -> Connectivity {
+    ChainComplex::from_complex(complex).connectivity_up_to(k)
+}
+
+/// The sequential reference for [`connectivity`]: derives the verdict
+/// from the engine-free [`reduced_betti_numbers_seq`] and the exact
+/// union-find [`component_count`], with no chain engine and no
+/// `ksa-exec` involvement under any feature set. The determinism
+/// proptests (`tests/chain_engine.rs`) pin `connectivity ==
+/// connectivity_seq` at pool sizes 1/2/8.
+pub fn connectivity_seq<V: View>(complex: &Complex<V>) -> Connectivity {
     if complex.is_void() {
         return Connectivity::Empty;
     }
     if component_count(complex) > 1 {
         return Connectivity::Exactly(-1);
     }
-    let betti = reduced_betti_numbers(complex);
-    // betti[0] must be 0 here (single component); scan upward.
-    debug_assert_eq!(betti.first().copied().unwrap_or(0), 0);
-    for (k, &b) in betti.iter().enumerate().skip(1) {
-        if b != 0 {
-            return Connectivity::Exactly(k as isize - 1);
-        }
-    }
-    Connectivity::AtLeast(complex.dim())
+    Connectivity::from_reduced_betti(&reduced_betti_numbers_seq(complex))
 }
 
 /// Convenience: the numeric homological connectivity, with `−2` for the
@@ -89,31 +140,22 @@ pub fn connectivity<V: View>(complex: &Complex<V>) -> Connectivity {
 pub fn homological_connectivity<V: View>(complex: &Complex<V>) -> isize {
     match connectivity(complex) {
         Connectivity::Empty => -2,
-        Connectivity::Exactly(k) => k,
-        Connectivity::AtLeast(k) => k,
+        Connectivity::Exactly(k) | Connectivity::AtLeast(k) => k,
     }
 }
 
 /// Whether the complex is homologically at least `k`-connected.
 /// (`k = −1`: non-void; `k = 0`: path-connected; `k ≥ 1`: additionally
 /// vanishing reduced homology through dimension `k`.)
+///
+/// Delegates to the early-exit [`connectivity_up_to`] — deciding
+/// `k`-connectivity never ranks a boundary operator beyond `∂_{k+1}` —
+/// and to [`Connectivity::is_at_least`] for the verdict.
 pub fn is_k_connected<V: View>(complex: &Complex<V>, k: isize) -> bool {
     if k <= -2 {
         return true;
     }
-    match connectivity(complex) {
-        Connectivity::Empty => false,
-        Connectivity::Exactly(c) => c >= k,
-        Connectivity::AtLeast(c) => {
-            // Homology can't see beyond the dimension; everything vanished,
-            // so we certify any k up to the dimension, and for a complex
-            // that is a cone/full simplex this is genuinely ∞. We stay
-            // conservative and certify only up to dim, except that a
-            // non-void complex with all-zero reduced homology and dimension
-            // d ≥ 0 certifies every k ≤ d.
-            c >= k
-        }
-    }
+    connectivity_up_to(complex, k).is_at_least(k)
 }
 
 /// Corollary 4.16 (two-element nerve lemma), checked homologically: if `C`

@@ -2,27 +2,32 @@
 //!
 //! Boundary-operator ranks are all homology needs over Z/2, and Gaussian
 //! elimination on `u64`-packed rows keeps the protocol-complex instances of
-//! the experiments comfortably in budget.
+//! the experiments comfortably in budget. [`Gf2Matrix::rank`] runs a
+//! "method of the four Russians" (M4RI) elimination: pivot columns are
+//! processed in blocks of up to eight, the block's pivot rows are fully
+//! inter-reduced, and every remaining row is cleared with a *single* XOR
+//! of a precomputed combination table — one row sweep per block instead of
+//! one per pivot, roughly an 8× reduction in row traffic on the dense
+//! boundary matrices of the chain engine ([`crate::chain`]).
 //!
 //! With the `parallel` feature the hot loops run on the `ksa-exec`
 //! work-stealing pool: row assembly ([`Gf2Matrix::from_row_fn`]) and the
-//! row-elimination sweep of each pivot step fan rows out across workers,
-//! and the pivot search splits the candidate row range. Every parallel
-//! step reproduces the sequential elimination trajectory exactly — the
-//! pivot chosen is the *minimal* candidate row (left-preferring merge) and
-//! eliminated rows never read each other — so ranks are bit-identical to
-//! [`Gf2Matrix::rank_seq`] at any `KSA_THREADS` (the determinism contract,
-//! DESIGN.md §4).
+//! per-block table sweep fan rows out across workers. Eliminated rows are
+//! pairwise independent (each only ever XORs the shared, read-only table),
+//! so any interleaving computes the same matrix — and the rank of a matrix
+//! is algorithm-independent anyway, so the value is bit-identical to the
+//! scalar reference [`Gf2Matrix::rank_seq`] at any `KSA_THREADS` (the
+//! determinism contract, DESIGN.md §4).
 
 /// Minimum number of `u64` words a parallel leaf should own; below this,
 /// forking costs more than the XOR sweep it would offload.
 #[cfg(feature = "parallel")]
 const PAR_WORDS_GRAIN: usize = 2048;
 
-/// Minimum candidate rows before the pivot search is worth splitting
-/// (one word probe per row — only long columns pay for a fork).
-#[cfg(feature = "parallel")]
-const PAR_PIVOT_ROWS_GRAIN: usize = 4096;
+/// Pivot columns handled per M4RI block: eight keeps a block inside one
+/// `u64` word (64 is a multiple of 8) and caps the combination table at
+/// `2^8` rows.
+const M4RI_BLOCK: usize = 8;
 
 /// A dense matrix over GF(2), rows bit-packed into `u64` words.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,18 +121,14 @@ impl Gf2Matrix {
         (self.data[r * self.words_per_row + c / 64] >> (c % 64)) & 1 == 1
     }
 
-    /// The rank over GF(2), via in-place Gaussian elimination on a copy.
+    /// The rank over GF(2), via in-place M4RI elimination on a copy.
     ///
-    /// With the `parallel` feature, matrices past the word-count grain run
-    /// the blocked parallel elimination; the value is always identical to
-    /// [`Gf2Matrix::rank_seq`].
+    /// With the `parallel` feature, matrices past the word-count grain fan
+    /// each block's table sweep out on the `ksa-exec` pool; the value is
+    /// always identical to [`Gf2Matrix::rank_seq`].
     pub fn rank(&self) -> usize {
         let mut m = self.clone();
-        #[cfg(feature = "parallel")]
-        if m.rows > 1 && m.rows * m.words_per_row >= PAR_WORDS_GRAIN {
-            return m.rank_destructive_par();
-        }
-        m.rank_destructive_seq()
+        m.rank_destructive_m4ri()
     }
 
     /// The sequential reference rank: plain scalar Gaussian elimination,
@@ -207,33 +208,121 @@ impl Gf2Matrix {
         rank
     }
 
-    /// Blocked parallel elimination: same column loop as the sequential
-    /// path, but each pivot step splits its pivot search and its
-    /// row-elimination sweep across `ksa-exec` workers. The left-
-    /// preferring pivot merge picks the *minimal* candidate row — exactly
-    /// the row the sequential scan finds — and eliminated rows are
-    /// pairwise independent, so the elimination trajectory (and hence the
-    /// rank) matches [`Gf2Matrix::rank_seq`] bit for bit.
-    #[cfg(feature = "parallel")]
-    fn rank_destructive_par(&mut self) -> usize {
+    /// M4RI ("method of the four Russians") elimination, the engine behind
+    /// [`Gf2Matrix::rank`].
+    ///
+    /// Columns are processed in blocks of [`M4RI_BLOCK`]. For each block:
+    ///
+    /// 1. **Pivot search** finds up to 8 pivot rows using *byte* probes
+    ///    (a candidate's block byte reduced by the pivots found so far),
+    ///    swaps them up, and fully inter-reduces them so each pivot row
+    ///    carries exactly its own bit among the block's pivot columns.
+    /// 2. **Table build** precomputes the `2^t` XOR combinations of the
+    ///    `t` pivot rows in Gray-code order (one row XOR per entry).
+    /// 3. **Sweep** clears every remaining row's block byte with a single
+    ///    table XOR selected by the row's bits at the pivot columns.
+    ///
+    /// A row's residual byte always lies in the span of the pivot bytes
+    /// (anything outside the span would itself have produced a pivot), so
+    /// one table XOR zeroes the whole block — the invariant that lets the
+    /// sweep touch each row once per block instead of once per pivot.
+    ///
+    /// With the `parallel` feature the sweep splits the row range across
+    /// `ksa-exec` workers; swept rows only read the shared table, so the
+    /// resulting matrix (and the rank) is independent of the interleaving.
+    fn rank_destructive_m4ri(&mut self) -> usize {
         let wpr = self.words_per_row;
         let mut rank = 0;
         let mut pivot_row = 0;
-        for col in 0..self.cols {
-            let word = col / 64;
-            let bit = 1u64 << (col % 64);
-            let Some(r) = find_pivot(&self.data, wpr, word, bit, pivot_row, self.rows) else {
-                continue;
+        // Reused across blocks: the combination table (2^t rows) and the
+        // bit positions (within the block) of the block's pivots.
+        let mut table: Vec<u64> = Vec::new();
+        let mut pivot_bits: Vec<u32> = Vec::new();
+        let mut block_start = 0;
+        while block_start < self.cols && pivot_row < self.rows {
+            let block_w = (self.cols - block_start).min(M4RI_BLOCK) as u32;
+            let word = block_start / 64;
+            let shift = (block_start % 64) as u32;
+            let byte_of = |data: &[u64], r: usize| -> u8 {
+                ((data[r * wpr + word] >> shift) & ((1u64 << block_w) - 1)) as u8
             };
-            self.data.swap_chunks(pivot_row, r, wpr);
-            let (upper, below) = self.data.split_at_mut((pivot_row + 1) * wpr);
-            let pivot = &upper[pivot_row * wpr..];
-            eliminate_below(pivot, below, wpr, word, bit);
-            rank += 1;
-            pivot_row += 1;
-            if pivot_row == self.rows {
-                break;
+
+            // Phase 1 — pivot search by byte probes: a candidate's block
+            // byte is reduced by the (inter-reduced) pivot rows' block
+            // bytes — at most 8 byte XORs per probe, no row traffic until
+            // a pivot is actually found. The invariant maintained below is
+            // that each pivot row carries exactly its own bit among the
+            // pivot columns found so far (it may carry non-pivot block
+            // bits, which is why probes XOR the *full* pivot bytes).
+            pivot_bits.clear();
+            for bit in 0..block_w {
+                let nb = pivot_bits.len();
+                let mut found = None;
+                for r in pivot_row + nb..self.rows {
+                    let mut b = byte_of(&self.data, r);
+                    for (i, &p) in pivot_bits.iter().enumerate() {
+                        if b >> p & 1 == 1 {
+                            b ^= byte_of(&self.data, pivot_row + i);
+                        }
+                    }
+                    if b >> bit & 1 == 1 {
+                        found = Some(r);
+                        break;
+                    }
+                }
+                let Some(r) = found else { continue };
+                // Materialize the probe's byte reduction on the full row
+                // (same decision sequence, now with row XORs), swap it
+                // up, then clear this bit from the earlier pivot rows so
+                // every pivot row owns exactly one pivot-column bit.
+                for (i, &p) in pivot_bits.iter().enumerate() {
+                    if byte_of(&self.data, r) >> p & 1 == 1 {
+                        self.xor_row_into(pivot_row + i, r);
+                    }
+                }
+                self.data.swap_chunks(pivot_row + nb, r, wpr);
+                for i in 0..nb {
+                    if byte_of(&self.data, pivot_row + i) >> bit & 1 == 1 {
+                        self.xor_row_into(pivot_row + nb, pivot_row + i);
+                    }
+                }
+                pivot_bits.push(bit);
             }
+            let t = pivot_bits.len();
+            if t == 0 {
+                block_start += M4RI_BLOCK;
+                continue;
+            }
+
+            // Phase 2 — Gray-code combination table: entry `g` is the XOR
+            // of the pivot rows selected by `g`'s bits (bit i ↔ pivot i).
+            // Every row below the pivot area has all-zero words left of
+            // the current block (each earlier block cleared its byte for
+            // every row then below, and pivot rows were such rows), so the
+            // table and the sweep only carry words from `word` on — the
+            // XOR traffic shrinks as the elimination advances.
+            let tw = wpr - word;
+            table.clear();
+            table.resize((1usize << t) * tw, 0);
+            for g in 1usize..1 << t {
+                let changed = (g ^ (g >> 1)) ^ ((g - 1) ^ ((g - 1) >> 1));
+                let gray = g ^ (g >> 1);
+                let prev_gray = (g - 1) ^ ((g - 1) >> 1);
+                let src = (pivot_row + changed.trailing_zeros() as usize) * wpr + word;
+                let (dst_row, src_row) = (gray * tw, prev_gray * tw);
+                for w in 0..tw {
+                    table[dst_row + w] = table[src_row + w] ^ self.data[src + w];
+                }
+            }
+
+            // Phase 3 — one sweep over the remaining rows: select the
+            // combination by the row's pivot-column bits and XOR it in.
+            let below = &mut self.data[(pivot_row + t) * wpr..];
+            sweep_block(below, &table, &pivot_bits, wpr, word, shift);
+
+            rank += t;
+            pivot_row += t;
+            block_start += M4RI_BLOCK;
         }
         rank
     }
@@ -269,48 +358,43 @@ where
     }
 }
 
-/// The minimal row index in `[lo, hi)` whose `word`/`bit` is set —
-/// identical to the sequential top-down scan because the recursive merge
-/// always prefers the left (smaller-index) half.
-#[cfg(feature = "parallel")]
-fn find_pivot(
-    data: &[u64],
+/// One M4RI block sweep: for every row of `below`, select the combination
+/// table entry by the row's bits at the block's pivot columns and XOR it
+/// in, clearing the row's whole block byte. `table` rows are trimmed to
+/// the words from `word` on (the earlier words of every row involved are
+/// already zero). With the `parallel` feature the row range splits across
+/// `ksa-exec` workers past the word grain; rows are disjoint and only
+/// read the shared table, so any execution order yields the same matrix.
+fn sweep_block(
+    below: &mut [u64],
+    table: &[u64],
+    pivot_bits: &[u32],
     wpr: usize,
     word: usize,
-    bit: u64,
-    lo: usize,
-    hi: usize,
-) -> Option<usize> {
-    if hi - lo <= PAR_PIVOT_ROWS_GRAIN {
-        return (lo..hi).find(|&r| data[r * wpr + word] & bit != 0);
-    }
-    let mid = lo + (hi - lo) / 2;
-    let (left, right) = ksa_exec::join(
-        || find_pivot(data, wpr, word, bit, lo, mid),
-        || find_pivot(data, wpr, word, bit, mid, hi),
-    );
-    left.or(right)
-}
-
-/// XORs `pivot` into every row of `below` whose `word`/`bit` is set,
-/// splitting the row block across workers. Rows are disjoint and never
-/// read each other, so any execution order yields the sequential result.
-#[cfg(feature = "parallel")]
-fn eliminate_below(pivot: &[u64], below: &mut [u64], wpr: usize, word: usize, bit: u64) {
+    shift: u32,
+) {
     let rows = below.len() / wpr;
+    #[cfg(feature = "parallel")]
     if rows > 1 && rows * wpr >= PAR_WORDS_GRAIN {
         let mid = rows / 2;
         let (lo, hi) = below.split_at_mut(mid * wpr);
         ksa_exec::join(
-            || eliminate_below(pivot, lo, wpr, word, bit),
-            || eliminate_below(pivot, hi, wpr, word, bit),
+            || sweep_block(lo, table, pivot_bits, wpr, word, shift),
+            || sweep_block(hi, table, pivot_bits, wpr, word, shift),
         );
         return;
     }
+    let tw = wpr - word;
     for r in 0..rows {
-        let row = &mut below[r * wpr..(r + 1) * wpr];
-        if row[word] & bit != 0 {
-            for (d, s) in row.iter_mut().zip(pivot) {
+        let byte = below[r * wpr + word] >> shift;
+        let mut idx = 0usize;
+        for (i, &p) in pivot_bits.iter().enumerate() {
+            idx |= ((byte >> p & 1) as usize) << i;
+        }
+        if idx != 0 {
+            let entry = &table[idx * tw..(idx + 1) * tw];
+            let row = &mut below[r * wpr + word..(r + 1) * wpr];
+            for (d, s) in row.iter_mut().zip(entry) {
                 *d ^= s;
             }
         }

@@ -15,7 +15,15 @@
 //!
 //! These are the numbers behind the crate's homological-connectivity proxy
 //! (see [`connectivity`](crate::connectivity) and DESIGN.md §2.2).
+//!
+//! [`reduced_betti_numbers`] runs on the flat chain-complex engine
+//! ([`crate::chain`], DESIGN.md §7); [`reduced_betti_numbers_seq`] is the
+//! engine-free reference — self-contained face closure plus dense scalar
+//! elimination — kept deliberately independent of the arenas and the
+//! sparse kernel so the determinism proptests cross-validate two
+//! different algorithms, not one algorithm against itself.
 
+use crate::chain::ChainComplex;
 use crate::complex::Complex;
 use crate::gf2::Gf2Matrix;
 use crate::simplex::{Simplex, View};
@@ -26,13 +34,16 @@ use std::collections::{BTreeSet, HashMap};
 /// Returns an empty vector for the void complex (which has `b̃_{−1} = 1`,
 /// not represented here; use [`Complex::is_void`] to detect voidness).
 ///
-/// With the `parallel` feature, the boundary operators of the different
-/// dimensions are assembled and rank-reduced as independent `ksa-exec`
-/// tasks (and each rank computation itself runs the blocked parallel
-/// elimination of [`crate::gf2`]). Simplex indexes are assigned from the
-/// canonical sorted face closure *before* any fan-out, so every boundary
-/// matrix — and therefore every Betti number — is bit-identical to
-/// [`reduced_betti_numbers_seq`] at any `KSA_THREADS` (DESIGN.md §4).
+/// Runs on the flat chain-complex engine ([`crate::chain`]): the face
+/// closure is enumerated once into integer-id arenas and each boundary
+/// operator is reduced sparsely. With the `parallel` feature the closure
+/// enumeration fans out per facet and the boundary reductions fan out
+/// per dimension as `ksa-exec` tasks; arenas are canonically sorted at
+/// the merge, so every Betti number is bit-identical to
+/// [`reduced_betti_numbers_seq`] at any `KSA_THREADS` (DESIGN.md §4, §7).
+///
+/// Callers that need both Betti numbers *and* connectivity should build
+/// one [`ChainComplex`] and query it twice — the rank cache is shared.
 ///
 /// # Examples
 ///
@@ -47,47 +58,7 @@ use std::collections::{BTreeSet, HashMap};
 /// assert_eq!(reduced_betti_numbers(&sphere), vec![0, 0, 1]);
 /// ```
 pub fn reduced_betti_numbers<V: View>(complex: &Complex<V>) -> Vec<usize> {
-    if complex.is_void() {
-        return Vec::new();
-    }
-    let dim = complex.dim() as usize;
-
-    // Bucket all simplexes by dimension and index them. `all_simplexes`
-    // is canonically sorted, so the index assignment is deterministic no
-    // matter how the closure was enumerated.
-    let all = complex.all_simplexes();
-    let (by_dim, index) = bucket_and_index(&all, dim);
-
-    // rank ∂_k for k = 0..=dim+1 (∂_0 = augmentation, ∂_{dim+1} = 0).
-    let mut ranks = vec![0usize; dim + 2];
-    ranks[0] = 1; // augmentation on a non-void complex
-
-    let boundary_rank = |k: usize| -> usize {
-        Gf2Matrix::from_row_fn(by_dim[k].len(), by_dim[k - 1].len(), |r| {
-            by_dim[k][r]
-                .faces()
-                .map(|face| index[k - 1][&face])
-                .collect()
-        })
-        .rank()
-    };
-
-    #[cfg(feature = "parallel")]
-    {
-        use ksa_exec::prelude::*;
-        // Per-dimension fan-out: each ∂_k is an independent task.
-        let computed: Vec<usize> = (1..dim + 1).into_par_iter().map(boundary_rank).collect();
-        ranks[1..=dim].copy_from_slice(&computed);
-    }
-    #[cfg(not(feature = "parallel"))]
-    for k in 1..=dim {
-        ranks[k] = boundary_rank(k);
-    }
-    // ranks[dim + 1] stays 0.
-
-    (0..=dim)
-        .map(|k| by_dim[k].len() - ranks[k] - ranks[k + 1])
-        .collect()
+    ChainComplex::from_complex(complex).reduced_betti()
 }
 
 /// The sequential reference for [`reduced_betti_numbers`]: enumerates the
@@ -195,10 +166,9 @@ pub fn component_count<V: View>(complex: &Complex<V>) -> usize {
             }
         }
     }
-    let mut roots: Vec<usize> = (0..verts.len()).map(|i| find(&mut parent, i)).collect();
-    roots.sort_unstable();
-    roots.dedup();
-    roots.len()
+    // Roots are exactly the self-parented entries — no need to collect,
+    // sort and dedup the find() images.
+    (0..parent.len()).filter(|&i| parent[i] == i).count()
 }
 
 #[cfg(test)]

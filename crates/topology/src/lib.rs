@@ -13,10 +13,15 @@
 //!   (Defs 4.1–4.2), with union, intersection, skeletons and purity;
 //! * [`pseudosphere`] — the pseudosphere complexes `φ(Π; V_1..V_n)`
 //!   (Def 4.5) and their intersection law (Lemma 4.6);
-//! * [`homology`] / [`connectivity`] — reduced Z/2 Betti numbers via
-//!   bit-packed Gaussian elimination, and the homological connectivity
-//!   checks used as the computational proxy for the paper's homotopy
-//!   connectivity (see DESIGN.md for the substitution note);
+//! * [`chain`] — the flat chain-complex engine: integer-id simplex
+//!   arenas, sparse boundary reduction with per-dimension rank caching,
+//!   early-exit connectivity, and rank reuse across skeleta and growing
+//!   complex sequences (DESIGN.md §7);
+//! * [`homology`] / [`connectivity`] — reduced Z/2 Betti numbers and the
+//!   homological connectivity checks used as the computational proxy for
+//!   the paper's homotopy connectivity (see DESIGN.md for the
+//!   substitution note), both running on [`chain`] with engine-free
+//!   `_seq` references;
 //! * [`nerve`] — nerve complexes of covers (Def 4.10), the engine of the
 //!   paper's Lemma 4.11 applications;
 //! * [`shelling`] — shelling-order verification and exhaustive shellability
@@ -50,6 +55,7 @@
 
 #![deny(missing_docs)]
 
+pub mod chain;
 pub mod complex;
 pub mod connectivity;
 pub mod error;

@@ -94,6 +94,26 @@ impl<V: View> RoundsComplex<V> {
         self.input_table.len() + self.tables.iter().map(ViewTable::len).sum::<usize>()
     }
 
+    /// The homology of every round's complex, round 1 first, computed on
+    /// one [`ChainSweep`](crate::chain::ChainSweep): each round's Betti
+    /// numbers and connectivity come from a single shared chain build
+    /// (no separate closure/rank passes per query), and the sweep
+    /// carries its reduced row bases forward across rounds where one
+    /// round's boundary rows embed into the next round's
+    /// ([`SweepStep::resumed`](crate::chain::SweepStep)). Canonical
+    /// re-interning usually reshuffles the ids between rounds, in which
+    /// case the embedding check fails and each round reduces fresh —
+    /// DESIGN.md §7.3 records the measured behavior.
+    ///
+    /// Verdicts are bit-identical to calling
+    /// [`reduced_betti_numbers`](crate::homology::reduced_betti_numbers)
+    /// and [`connectivity`](crate::connectivity::connectivity) on each
+    /// round's complex (proptest-pinned in `tests/chain_engine.rs`).
+    pub fn homology_sweep(&self) -> Vec<crate::chain::SweepStep> {
+        let mut sweep = crate::chain::ChainSweep::new();
+        self.complexes.iter().map(|c| sweep.push(c)).collect()
+    }
+
     /// Re-materializes the **round-1** complex with explicit flat views —
     /// the bridge to [`crate::interpretation::protocol_complex_one_round`]
     /// that the anchor tests compare against bit for bit.

@@ -1,0 +1,143 @@
+//! Proptests pinning the flat chain-complex engine (`ksa_topology::chain`)
+//! to the behavior of the engine-free references, across `ksa-exec` pool
+//! sizes 1/2/8 (DESIGN.md §4, §7):
+//!
+//! * chain-engine Betti numbers == `reduced_betti_numbers_seq`;
+//! * `connectivity_up_to(c, k)` == the truncation of the full
+//!   `connectivity(c)` verdict;
+//! * skeleton-reuse queries == homology of the materialized
+//!   `c.skeleton(k)`;
+//! * `ChainSweep` verdicts == per-complex verdicts, on growing
+//!   filtrations (where the bases resume) and on arbitrary sequences
+//!   (where the embedding check must fall back).
+
+#![cfg(feature = "parallel")]
+
+use ksa_exec::ThreadPool;
+use ksa_topology::chain::{ChainComplex, ChainSweep};
+use ksa_topology::complex::Complex;
+use ksa_topology::connectivity::{
+    connectivity, connectivity_seq, connectivity_up_to, Connectivity,
+};
+use ksa_topology::homology::{reduced_betti_numbers, reduced_betti_numbers_seq};
+use ksa_topology::simplex::{Simplex, Vertex};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// The shared pools (1/2/8 workers), started once for the whole test
+/// binary so proptest cases don't churn threads.
+fn pools() -> &'static [ThreadPool] {
+    static POOLS: OnceLock<Vec<ThreadPool>> = OnceLock::new();
+    POOLS.get_or_init(|| [1, 2, 8].into_iter().map(ThreadPool::new).collect())
+}
+
+/// Strategy: a small complex over colors 0..6 with u8 views.
+fn small_complex() -> impl Strategy<Value = Complex<u8>> {
+    let simplex = prop::collection::btree_map(0usize..6, 0u8..3, 1..=5).prop_map(|m| {
+        Simplex::new(m.into_iter().map(|(c, v)| Vertex::new(c, v)).collect())
+            .expect("btree keys are distinct colors")
+    });
+    prop::collection::vec(simplex, 1..7).prop_map(Complex::from_facets)
+}
+
+/// The truncation of a full connectivity verdict at `k`: what
+/// `connectivity_up_to` promises to return (its documented semantics).
+fn truncate(full: Connectivity, k: isize, dim: isize) -> Connectivity {
+    let cap = k.min(dim);
+    match full {
+        Connectivity::Empty => Connectivity::Empty,
+        Connectivity::Exactly(c) if c < cap => Connectivity::Exactly(c),
+        Connectivity::Exactly(_) | Connectivity::AtLeast(_) => Connectivity::AtLeast(cap),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn chain_betti_matches_seq_reference(c in small_complex()) {
+        let reference = reduced_betti_numbers_seq(&c);
+        for pool in pools() {
+            let betti = pool.install(|| ChainComplex::from_complex(&c).reduced_betti());
+            prop_assert_eq!(&betti, &reference, "pool size {}", pool.num_threads());
+        }
+    }
+
+    #[test]
+    fn connectivity_matches_seq_reference(c in small_complex()) {
+        let reference = connectivity_seq(&c);
+        for pool in pools() {
+            let verdict = pool.install(|| connectivity(&c));
+            prop_assert_eq!(verdict, reference, "pool size {}", pool.num_threads());
+        }
+    }
+
+    #[test]
+    fn connectivity_up_to_agrees_with_truncation(c in small_complex(), k in -1isize..5) {
+        let full = connectivity_seq(&c);
+        let expected = truncate(full, k, c.dim());
+        for pool in pools() {
+            let verdict = pool.install(|| connectivity_up_to(&c, k));
+            prop_assert_eq!(verdict, expected, "pool size {}, k = {k}", pool.num_threads());
+        }
+    }
+
+    #[test]
+    fn skeleton_queries_match_materialized_skeleta(c in small_complex(), k in 0isize..5) {
+        let sk = c.skeleton(k);
+        let betti_ref = reduced_betti_numbers_seq(&sk);
+        let conn_ref = connectivity_seq(&sk);
+        for pool in pools() {
+            let (betti, conn) = pool.install(|| {
+                let mut chain = c.chain();
+                (chain.skeleton_betti(k), chain.skeleton_connectivity(k))
+            });
+            prop_assert_eq!(&betti, &betti_ref, "pool size {}, k = {k}", pool.num_threads());
+            prop_assert_eq!(conn, conn_ref, "pool size {}, k = {k}", pool.num_threads());
+        }
+    }
+
+    /// A growing filtration (each step unions one more facet): the sweep
+    /// must resume its bases from step 2 on and still reproduce the
+    /// per-complex verdicts exactly.
+    #[test]
+    fn sweep_on_growing_filtrations(c in small_complex()) {
+        let facets: Vec<Simplex<u8>> = c.facets().cloned().collect();
+        let steps: Vec<Complex<u8>> = (1..=facets.len())
+            .map(|t| Complex::from_facets(facets[..t].iter().cloned()))
+            .collect();
+        for pool in pools() {
+            let results = pool.install(|| {
+                let mut sweep = ChainSweep::new();
+                steps.iter().map(|s| sweep.push(s)).collect::<Vec<_>>()
+            });
+            for (t, (step, complex)) in results.iter().zip(&steps).enumerate() {
+                prop_assert_eq!(
+                    &step.betti,
+                    &reduced_betti_numbers_seq(complex),
+                    "pool size {}, step {t}", pool.num_threads()
+                );
+                prop_assert_eq!(
+                    step.connectivity,
+                    connectivity_seq(complex),
+                    "pool size {}, step {t}", pool.num_threads()
+                );
+                if t > 1 {
+                    prop_assert!(step.resumed, "pool size {}, step {t}", pool.num_threads());
+                }
+            }
+        }
+    }
+
+    /// Arbitrary (non-nesting) sequences: the embedding check must fall
+    /// back rather than resume into wrong ranks.
+    #[test]
+    fn sweep_on_arbitrary_sequences(cs in prop::collection::vec(small_complex(), 1..4)) {
+        let mut sweep = ChainSweep::new();
+        for (t, c) in cs.iter().enumerate() {
+            let step = sweep.push(c);
+            prop_assert_eq!(&step.betti, &reduced_betti_numbers(c), "step {t}");
+            prop_assert_eq!(step.connectivity, connectivity_seq(c), "step {t}");
+        }
+    }
+}
