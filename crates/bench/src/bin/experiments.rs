@@ -8,6 +8,11 @@
 //! experiments --smoke        # run the fast subset (CI smoke job)
 //! experiments fig1 stars …   # run selected experiments
 //! experiments --list         # list experiment ids
+//! experiments --list-models  # list the builtin model registry
+//! experiments --list-models --models 'stars*,ring*'
+//!                            # list a registry selection
+//! experiments hunt --models 'random{n=3*'
+//!                            # hunt over a registry selection
 //! experiments all --json BENCH_results.json
 //!                            # also write machine-readable results
 //! ```
@@ -17,9 +22,17 @@
 //! (`BENCH_results.json` at the repo root is the committed baseline) and
 //! CI can diff the deterministic payload across thread counts.
 //!
+//! `--models <glob>` selects models from the builtin registry by
+//! canonical name (`*`/`?` wildcards; comma-separated patterns respect
+//! braces). Repeatable — occurrences are joined with `,`. It filters
+//! `--list-models` and overrides the default ensemble of the
+//! registry-driven experiments (`hunt`).
+//!
 //! Exit code 0 iff every executed experiment's shape assertions held.
 
-use ksa_bench::{run_experiments, ExperimentOutcome, ALL_EXPERIMENTS, SMOKE_EXPERIMENTS};
+use ksa_bench::{
+    run_experiments_with_models, ExperimentOutcome, ALL_EXPERIMENTS, SMOKE_EXPERIMENTS,
+};
 use std::process::ExitCode;
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
@@ -93,8 +106,11 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    // Pull out `--json <path>` before interpreting the rest as ids.
+    // Pull out `--json <path>` / `--models <glob>` / `--list-models`
+    // before interpreting the rest as ids.
     let mut json_path: Option<String> = None;
+    let mut model_globs: Vec<String> = Vec::new();
+    let mut list_models = false;
     let mut selected: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -106,9 +122,37 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+        } else if arg == "--models" {
+            match it.next() {
+                Some(glob) => model_globs.push(glob),
+                None => {
+                    eprintln!("--models requires a glob argument (e.g. 'stars*,ring*')");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if arg == "--list-models" {
+            list_models = true;
         } else {
             selected.push(arg);
         }
+    }
+    let models: Option<String> = if model_globs.is_empty() {
+        None
+    } else {
+        Some(model_globs.join(","))
+    };
+
+    if list_models {
+        let reg = ksa_models::registry::builtin();
+        let names: Vec<&str> = match &models {
+            Some(glob) => reg.select(glob),
+            None => reg.names().collect(),
+        };
+        for name in &names {
+            println!("{name}");
+        }
+        eprintln!("{} of {} builtin models", names.len(), reg.len());
+        return ExitCode::SUCCESS;
     }
 
     let ids: Vec<&str> = if selected.iter().any(|a| a == "--smoke") {
@@ -125,7 +169,10 @@ fn main() -> ExitCode {
     // count.
     let mut all_ok = true;
     let mut results: Vec<(ExperimentOutcome, f64)> = Vec::new();
-    for (id, (result, wall_ms)) in ids.iter().zip(run_experiments(&ids)) {
+    for (id, (result, wall_ms)) in ids
+        .iter()
+        .zip(run_experiments_with_models(&ids, models.as_deref()))
+    {
         match result {
             Ok(outcome) => {
                 println!("================================================================");

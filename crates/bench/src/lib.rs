@@ -64,6 +64,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "extuniv",
     "solv",
     "approx",
+    "hunt",
 ];
 
 /// The fast subset run by `experiments --smoke` (the CI bench-smoke
@@ -87,6 +88,7 @@ pub const SMOKE_EXPERIMENTS: &[&str] = &[
     "cor55",
     "extuniv",
     "approx",
+    "hunt",
 ];
 
 /// Runs one experiment by id.
@@ -95,6 +97,22 @@ pub const SMOKE_EXPERIMENTS: &[&str] = &[
 ///
 /// Returns an error string for unknown ids or computation failures.
 pub fn run_experiment(id: &str) -> Result<ExperimentOutcome, String> {
+    run_experiment_with_models(id, None)
+}
+
+/// [`run_experiment`] with an optional registry selection glob (the CLI
+/// `--models` flag). Only registry-driven experiments consume it — today
+/// that is `hunt`, which scans the selected models instead of its default
+/// ensemble; every other experiment has a fixed model table and ignores
+/// the override.
+///
+/// # Errors
+///
+/// Returns an error string for unknown ids or computation failures.
+pub fn run_experiment_with_models(
+    id: &str,
+    models: Option<&str>,
+) -> Result<ExperimentOutcome, String> {
     let result = match id {
         "fig1" => experiments::fig1(),
         "fig2" => experiments::fig2(),
@@ -114,6 +132,7 @@ pub fn run_experiment(id: &str) -> Result<ExperimentOutcome, String> {
         "extuniv" => experiments::extuniv(),
         "solv" => experiments::solv(),
         "approx" => experiments::approx(),
+        "hunt" => experiments::hunt(models),
         other => return Err(format!("unknown experiment id: {other}")),
     };
     result.map_err(|e| e.to_string())
@@ -143,9 +162,18 @@ pub fn run_experiment(id: &str) -> Result<ExperimentOutcome, String> {
 /// assert_eq!(results[0].0.as_ref().unwrap().id, "fig2"); // input order
 /// ```
 pub fn run_experiments(ids: &[&str]) -> Vec<(Result<ExperimentOutcome, String>, f64)> {
+    run_experiments_with_models(ids, None)
+}
+
+/// [`run_experiments`] with the registry selection override of
+/// [`run_experiment_with_models`] threaded through to every experiment.
+pub fn run_experiments_with_models(
+    ids: &[&str],
+    models: Option<&str>,
+) -> Vec<(Result<ExperimentOutcome, String>, f64)> {
     let timed = |id: &&str| {
         let start = std::time::Instant::now();
-        let result = run_experiment(id);
+        let result = run_experiment_with_models(id, models);
         (result, start.elapsed().as_secs_f64() * 1e3)
     };
     #[cfg(feature = "parallel")]
@@ -174,6 +202,31 @@ mod tests {
     #[test]
     fn unknown_id_rejected() {
         assert!(run_experiment("nope").is_err());
+    }
+
+    #[test]
+    fn hunt_is_deterministic_for_a_pinned_seed() {
+        // The regression contract of the hunt: for a fixed registry
+        // selection (seed included in the name) the whole report — rows,
+        // check strings, verdict — is reproducible, so any violation it
+        // ever prints is a replayable recipe.
+        let glob = "random{n=3,p=0.5,seed=7,count=4}";
+        let a = run_experiment_with_models("hunt", Some(glob)).unwrap();
+        let b = run_experiment_with_models("hunt", Some(glob)).unwrap();
+        assert!(a.passed, "hunt failed:\n{}", a.report);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.checks, b.checks);
+        assert!(a.report.contains(glob), "rows are labeled by spec name");
+    }
+
+    #[test]
+    fn hunt_respects_model_overrides() {
+        // An empty selection is a failed check, not a panic.
+        let none = run_experiment_with_models("hunt", Some("nomatch*")).unwrap();
+        assert!(!none.passed);
+        // Non-registry experiments ignore the override.
+        let fig2 = run_experiment_with_models("fig2", Some("nomatch*")).unwrap();
+        assert!(fig2.passed);
     }
 
     #[test]

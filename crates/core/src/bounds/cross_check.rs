@@ -160,10 +160,49 @@ pub fn cross_check_round_sweep(
     })
 }
 
+/// [`cross_check_round_sweep`] with the model resolved from the builtin
+/// registry by name (any canonical spec string works:
+/// `"stars{n=3,s=1}"`, `"random{n=3,p=0.5,seed=7,count=4}"`, …). The
+/// same `budget` guards materialization and the sweep, so one ceiling
+/// covers the whole confrontation — this is the entry point the `hunt`
+/// experiment drives over random ensembles.
+///
+/// # Errors
+///
+/// [`CoreError::Model`] for unknown names, admission refusals, and
+/// models that are not closed-above (the sweep needs generators); the
+/// [`cross_check_round_sweep`] errors otherwise.
+pub fn cross_check_round_sweep_by_name(
+    name: &str,
+    value_max: usize,
+    rounds: usize,
+    budget: impl Into<RunBudget>,
+) -> Result<RoundSweepReport, CoreError> {
+    let budget = budget.into();
+    let resolved = ksa_models::registry::builtin().resolve(name, budget)?;
+    let model = resolved
+        .as_closed_above()
+        .ok_or_else(|| ksa_models::ModelError::Spec {
+            message: format!("{name} is not closed-above; the round sweep needs generators"),
+        })?;
+    cross_check_round_sweep(model, value_max, rounds, budget)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ksa_models::named;
+
+    #[test]
+    fn by_name_matches_direct_call() {
+        let direct =
+            cross_check_round_sweep(&named::simple_ring(3).unwrap(), 1, 2, 1_000_000u128).unwrap();
+        let by_name = cross_check_round_sweep_by_name("ring{n=3}", 1, 2, 1_000_000u128).unwrap();
+        assert_eq!(direct, by_name);
+        assert!(cross_check_round_sweep_by_name("no such model", 1, 1, 1_000u128).is_err());
+        // Explicit models are rejected with a model error, not a panic.
+        assert!(cross_check_round_sweep_by_name("nonsplit{n=3}", 1, 1, 1_000_000u128).is_err());
+    }
 
     #[test]
     fn simple_ring_sweep_is_consistent() {

@@ -176,7 +176,7 @@ mod tests {
             named::non_empty_kernel(4).unwrap(),
             named::symmetric_ring(4).unwrap(),
             named::star_unions(5, 4).unwrap(),
-            named::tournament(3, 1 << 10).unwrap(),
+            named::tournament_within(3, 1u128 << 10).unwrap(),
             named::fig1_star_model().unwrap(),
         ];
         for m in models {

@@ -399,6 +399,16 @@ impl Iterator for KSubsets {
     }
 }
 
+/// `n!`, saturating at `u128::MAX`. Used by model-size estimates
+/// (symmetric closures enumerate all `n!` relabelings).
+pub fn factorial(n: usize) -> u128 {
+    let mut acc: u128 = 1;
+    for i in 2..=n as u128 {
+        acc = acc.saturating_mul(i);
+    }
+    acc
+}
+
 /// Number of k-element subsets of an n-element set, saturating at
 /// `u128::MAX`.
 pub fn binomial(n: usize, k: usize) -> u128 {

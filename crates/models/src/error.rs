@@ -28,6 +28,23 @@ pub enum ModelError {
         /// The configured limit.
         limit: u128,
     },
+    /// Materialization was refused by [`RunBudget`] admission — the
+    /// estimated work exceeds the budget.
+    ///
+    /// [`RunBudget`]: ksa_graphs::budget::RunBudget
+    Budget(ksa_graphs::budget::BudgetExceeded),
+    /// A model spec failed to parse, or described an ill-typed
+    /// combination (e.g. `union(…)` over an explicit model).
+    Spec {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A registry lookup named a model that is neither registered nor a
+    /// parseable spec.
+    UnknownModel {
+        /// The name that failed to resolve.
+        name: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -47,6 +64,13 @@ impl fmt::Display for ModelError {
                 f,
                 "{what} would have about {estimated} elements, above the limit {limit}"
             ),
+            ModelError::Budget(e) => write!(f, "budget admission refused: {e}"),
+            ModelError::Spec { message } => write!(f, "bad model spec: {message}"),
+            ModelError::UnknownModel { name } => write!(
+                f,
+                "no registered model named {name:?} (and it does not parse as a spec); \
+                 try `experiments --list-models`"
+            ),
         }
     }
 }
@@ -55,6 +79,7 @@ impl Error for ModelError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ModelError::Graph(e) => Some(e),
+            ModelError::Budget(e) => Some(e),
             _ => None,
         }
     }
@@ -63,6 +88,12 @@ impl Error for ModelError {
 impl From<ksa_graphs::GraphError> for ModelError {
     fn from(e: ksa_graphs::GraphError) -> Self {
         ModelError::Graph(e)
+    }
+}
+
+impl From<ksa_graphs::budget::BudgetExceeded> for ModelError {
+    fn from(e: ksa_graphs::budget::BudgetExceeded) -> Self {
+        ModelError::Budget(e)
     }
 }
 

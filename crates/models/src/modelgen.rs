@@ -1,0 +1,150 @@
+//! Sweep builders: family grids and seeded ensembles for the registry.
+//!
+//! `modelgen` turns parameter grids into lists of [`ModelSpec`]s, and
+//! [`builtin_specs`] assembles the workspace's builtin zoo from them —
+//! the 100+ models behind [`crate::registry::builtin`]. Everything here
+//! is *cheap*: specs are data, nothing is materialized until a registry
+//! lookup admits it against a `RunBudget`.
+//!
+//! Random ensembles follow DESIGN.md §4.5: the seed is part of the spec
+//! (and therefore of the model's name), so `random{n=4,p=0.5,seed=3,
+//! count=4}` denotes the same model everywhere, forever.
+
+use crate::spec::ModelSpec;
+use std::ops::RangeInclusive;
+
+/// `stars{n,s}` for every `n` in the range and every `s ∈ [1, n]`.
+pub fn stars_grid(ns: RangeInclusive<usize>) -> Vec<ModelSpec> {
+    ns.flat_map(|n| (1..=n).map(move |s| ModelSpec::stars(n, s)))
+        .collect()
+}
+
+/// `kernel{n}` for every `n` in the range.
+pub fn kernel_grid(ns: RangeInclusive<usize>) -> Vec<ModelSpec> {
+    ns.map(ModelSpec::kernel).collect()
+}
+
+/// `ring{n}` / `ring{n,sym}` for every `n` in the range.
+pub fn ring_grid(ns: RangeInclusive<usize>, sym: bool) -> Vec<ModelSpec> {
+    ns.map(|n| ModelSpec::ring(n, sym)).collect()
+}
+
+/// `tournament{n}` for every `n` in the range.
+pub fn tournament_grid(ns: RangeInclusive<usize>) -> Vec<ModelSpec> {
+    ns.map(ModelSpec::tournament).collect()
+}
+
+/// `nonsplit{n}` for every `n` in the range.
+pub fn nonsplit_grid(ns: RangeInclusive<usize>) -> Vec<ModelSpec> {
+    ns.map(ModelSpec::nonsplit).collect()
+}
+
+/// `path{n}` / `path{n,sym}` for every `n` in the range.
+pub fn path_grid(ns: RangeInclusive<usize>, sym: bool) -> Vec<ModelSpec> {
+    ns.map(|n| ModelSpec::path(n, sym)).collect()
+}
+
+/// `tree{n}` / `tree{n,sym}` (binary out-arborescences) for every `n` in
+/// the range.
+pub fn tree_grid(ns: RangeInclusive<usize>, sym: bool) -> Vec<ModelSpec> {
+    ns.map(|n| ModelSpec::tree(n, sym)).collect()
+}
+
+/// A seeded random ensemble: one `random{n,p,seed,count}` spec per seed.
+/// Each member draws `count` generator graphs with edge probability `p`
+/// (DESIGN.md §4.5 seeding — the spec *is* the reproduction recipe).
+pub fn random_ensemble(
+    n: usize,
+    p: f64,
+    seeds: RangeInclusive<u64>,
+    count: usize,
+) -> Vec<ModelSpec> {
+    seeds
+        .map(|seed| ModelSpec::random(n, p, seed, count))
+        .collect()
+}
+
+/// The builtin zoo: every model the workspace's experiments, examples and
+/// smoke suites may name. Kept ≥ 100 entries by construction (pinned by a
+/// test and by the `registry_zoo` experiment's acceptance check).
+pub fn builtin_specs() -> Vec<ModelSpec> {
+    let mut specs: Vec<ModelSpec> = Vec::new();
+    // Family grids at experiment-friendly sizes.
+    specs.extend(stars_grid(3..=6)); // 18
+    specs.extend(kernel_grid(3..=6)); // 4
+    specs.extend(ring_grid(3..=7, false)); // 5
+    specs.extend(ring_grid(3..=6, true)); // 4
+    specs.extend(tournament_grid(2..=4)); // 3
+    specs.extend(nonsplit_grid(2..=4)); // 3
+    specs.extend(path_grid(3..=6, false)); // 4
+    specs.extend(path_grid(3..=5, true)); // 3
+    specs.extend(tree_grid(3..=7, false)); // 5
+    specs.extend(tree_grid(3..=5, true)); // 3
+    specs.push(ModelSpec::Fig1Star);
+    specs.push(ModelSpec::Fig1Second);
+    // Seeded random ensembles (DESIGN.md §4.5): 2 sizes × 3 densities ×
+    // 8 seeds.
+    for n in [3, 4] {
+        for p in [0.25, 0.5, 0.75] {
+            specs.extend(random_ensemble(n, p, 0..=7, 4)); // 48 total
+        }
+    }
+    // Combinator exemplars: the §6.1 product counterexample shape and a
+    // few unions used by docs/tests.
+    specs.push(ModelSpec::product(
+        ModelSpec::ring(3, false),
+        ModelSpec::ring(3, false),
+    ));
+    specs.push(ModelSpec::product(
+        ModelSpec::stars(4, 1),
+        ModelSpec::ring(4, false),
+    ));
+    specs.push(ModelSpec::union(vec![
+        ModelSpec::stars(3, 2),
+        ModelSpec::ring(3, false),
+    ]));
+    specs.push(ModelSpec::union(vec![
+        ModelSpec::ring(4, false),
+        ModelSpec::tree(4, false),
+    ]));
+    specs.push(ModelSpec::union(vec![
+        ModelSpec::Fig1Star,
+        ModelSpec::ring(4, true),
+    ]));
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::builtin;
+    use ksa_graphs::budget::RunBudget;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn builtin_zoo_is_large_and_duplicate_free() {
+        let specs = builtin_specs();
+        assert!(specs.len() >= 100, "only {} specs", specs.len());
+        let names: BTreeSet<String> = specs.iter().map(ModelSpec::name).collect();
+        assert_eq!(names.len(), specs.len(), "duplicate canonical names");
+    }
+
+    #[test]
+    fn every_builtin_model_resolves_under_default_budget() {
+        let reg = builtin();
+        for name in reg.names() {
+            let model = reg
+                .resolve(name, RunBudget::DEFAULT.max_executions)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(crate::ObliviousModel::n(model.as_ref()) >= 2, "{name}");
+        }
+    }
+
+    #[test]
+    fn grids_cover_expected_shapes() {
+        assert_eq!(stars_grid(3..=6).len(), 3 + 4 + 5 + 6);
+        assert_eq!(random_ensemble(3, 0.5, 0..=7, 4).len(), 8);
+        let names: Vec<String> = ring_grid(3..=4, true).iter().map(ModelSpec::name).collect();
+        assert_eq!(names, ["ring{n=3,sym}", "ring{n=4,sym}"]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the [`ModelSpec`] text format and registry.
+//!
+//! The format's contract is *canonical round-tripping*: `Display` emits
+//! the canonical spelling, the parser accepts it (plus cosmetic
+//! variation), and re-displaying what was parsed reproduces the string
+//! exactly — the registry relies on this, because the canonical string
+//! **is** the model's name.
+//!
+//! The vendored proptest shim samples (no shrinking), so generators are
+//! written directly against its `TestRng`.
+
+use ksa_graphs::Digraph;
+use ksa_models::{ModelSpec, Registry};
+use proptest::prelude::*;
+use proptest::TestRng;
+
+/// A digraph on `n` processes with ~density/1000 proper-edge probability.
+fn random_digraph(rng: &mut TestRng, n: usize) -> Digraph {
+    let mut g = Digraph::empty(n).expect("valid n");
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.below(2) == 1 {
+                g.add_edge(u, v).expect("in range");
+            }
+        }
+    }
+    g
+}
+
+/// A leaf (non-combinator) spec, kept at sizes every test can afford to
+/// materialize.
+fn random_leaf(rng: &mut TestRng) -> ModelSpec {
+    let n = 3 + rng.below(3) as usize; // 3..=5
+    match rng.below(10) {
+        0 => ModelSpec::stars(n, 1 + rng.below(n as u64) as usize),
+        1 => ModelSpec::kernel(n),
+        2 => ModelSpec::ring(n, rng.below(2) == 1),
+        3 => ModelSpec::tournament(2 + rng.below(2) as usize),
+        4 => ModelSpec::nonsplit(2 + rng.below(2) as usize),
+        5 => ModelSpec::path(n, rng.below(2) == 1),
+        6 => ModelSpec::tree(n, rng.below(2) == 1),
+        7 => ModelSpec::random(
+            3,
+            rng.below(1001) as f64 / 1000.0,
+            rng.next_u64(),
+            1 + rng.below(4) as usize,
+        ),
+        8 => {
+            let count = 1 + rng.below(3) as usize;
+            let gs = (0..count).map(|_| random_digraph(rng, 4)).collect();
+            ModelSpec::up(4, gs)
+        }
+        _ => {
+            let count = 1 + rng.below(3) as usize;
+            let gs = (0..count).map(|_| random_digraph(rng, 4)).collect();
+            ModelSpec::set(4, gs)
+        }
+    }
+}
+
+/// A leaf that materializes to a closed-above model on 4 processes — the
+/// shape union/product operands must share.
+fn random_closed_above_leaf(rng: &mut TestRng) -> ModelSpec {
+    match rng.below(4) {
+        0 => ModelSpec::ring(4, false),
+        1 => ModelSpec::stars(4, 1 + rng.below(4) as usize),
+        2 => ModelSpec::kernel(4),
+        _ => ModelSpec::up(4, vec![random_digraph(rng, 4)]),
+    }
+}
+
+/// A spec of combinator depth ≤ 1.
+fn random_spec(rng: &mut TestRng) -> ModelSpec {
+    match rng.below(6) {
+        0 => {
+            let count = 2 + rng.below(2) as usize;
+            let operands = (0..count).map(|_| random_closed_above_leaf(rng)).collect();
+            ModelSpec::union(operands)
+        }
+        1 => ModelSpec::product(random_closed_above_leaf(rng), random_closed_above_leaf(rng)),
+        _ => random_leaf(rng),
+    }
+}
+
+fn spec() -> impl Strategy<Value = ModelSpec> {
+    Just(()).prop_perturb(|(), mut rng| random_spec(&mut rng))
+}
+
+fn leaf_spec() -> impl Strategy<Value = ModelSpec> {
+    Just(()).prop_perturb(|(), mut rng| random_leaf(&mut rng))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn display_parse_round_trips(s in spec()) {
+        let text = s.to_string();
+        let parsed: ModelSpec = text.parse().unwrap_or_else(|e| {
+            panic!("canonical spelling must parse: {text:?}: {e}")
+        });
+        prop_assert_eq!(&parsed, &s);
+        prop_assert_eq!(parsed.to_string(), text);
+    }
+
+    #[test]
+    fn name_is_display(s in spec()) {
+        prop_assert_eq!(s.name(), s.to_string());
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace(s in spec()) {
+        // Cosmetic whitespace after separators must not change meaning.
+        let loose = s
+            .to_string()
+            .replace(',', ", ")
+            .replace('{', "{ ")
+            .replace('}', " }");
+        let parsed: ModelSpec = loose.parse().unwrap_or_else(|e| {
+            panic!("whitespace-padded spelling must parse: {loose:?}: {e}")
+        });
+        prop_assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn estimated_work_never_panics_and_bounds_leaves(s in leaf_spec()) {
+        let est = s.estimated_work();
+        prop_assert!(est >= 1);
+        // Materialization under a budget covering the estimate succeeds
+        // for these sizes, and explicit models stay within the estimate.
+        let budget = est.saturating_add(1);
+        let resolved = s.materialize(budget).unwrap_or_else(|e| {
+            panic!("{s}: admitted materialization failed: {e}")
+        });
+        if let Some(m) = resolved.as_explicit() {
+            prop_assert!((m.graphs().len() as u128) <= est, "{}", s);
+        }
+    }
+
+    #[test]
+    fn registry_name_resolution_is_cached_and_stable(s in spec()) {
+        let mut reg = Registry::new();
+        let name = reg.insert(s.clone());
+        prop_assert_eq!(&name, &s.to_string());
+        let est = s.estimated_work().saturating_add(1);
+        let a = reg.resolve(&name, est).unwrap();
+        let b = reg.resolve(&name, est).unwrap();
+        prop_assert!(std::sync::Arc::ptr_eq(&a, &b), "second hit is cached");
+    }
+}

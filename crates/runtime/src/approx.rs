@@ -162,7 +162,7 @@ mod tests {
         // The Charron-Bost–Függer–Nowak halving, exhaustively: every
         // non-split 3-process graph contracts the diameter by ≥ 1/2 under
         // midpoint averaging, for a grid of inputs.
-        let model = named::non_split(3, 1 << 18).unwrap();
+        let model = named::non_split_within(3, 1u128 << 18).unwrap();
         let grids: Vec<Vec<f64>> = vec![
             vec![0.0, 1.0, 0.5],
             vec![0.0, 1.0, 1.0],

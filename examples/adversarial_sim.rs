@@ -9,15 +9,16 @@ use kset_agreement::runtime::checker::{check_exhaustive, check_with_supersets};
 use kset_agreement::runtime::monte_carlo::monte_carlo;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let models: Vec<(&str, ClosedAboveModel)> = vec![
-        (
-            "kernel n=4 (s=1 stars)",
-            models::named::non_empty_kernel(4)?,
-        ),
-        ("star unions n=4 s=2", models::named::star_unions(4, 2)?),
-        ("symmetric ring n=4", models::named::symmetric_ring(4)?),
-        ("fig1(b) model", models::named::fig1_second_model()?),
-    ];
+    let registry = models::registry::builtin();
+    let models: Vec<(&str, ClosedAboveModel)> = [
+        "kernel{n=4}",
+        "stars{n=4,s=2}",
+        "ring{n=4,sym}",
+        "fig1second{}",
+    ]
+    .into_iter()
+    .map(|name| Ok((name, registry.resolve_closed_above(name, 1_000_000u128)?)))
+    .collect::<Result<_, kset_agreement::models::ModelError>>()?;
 
     println!("one-round agreement under different adversaries (min-of-all algorithm)\n");
     println!(
@@ -56,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The dominating-set algorithm on a simple model: stronger agreement
     // than flooding, because the generator is known (Thm 3.2 vs Thm 3.4).
     println!("\nsimple ring ↑C4: knowing the generator pays (Thm 3.2)");
-    let simple = models::named::simple_ring(4)?;
+    let simple = registry.resolve_closed_above("ring{n=4}", 1_000_000u128)?;
     let flood = check_exhaustive(&MinOfAll::new(), &simple, 3, 1, 1_000_000)?;
     let smart = MinOfDominatingSet::for_graph(&simple.generators()[0]);
     let dom = check_with_supersets(&smart, &simple, 3, 1, 20, 7, 1_000_000)?;

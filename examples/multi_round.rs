@@ -42,11 +42,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // views and measures the connectivity. The cross-check report carries
     // both sides — and the bounds table alongside.
     println!("\n== bounds as rounds grow (homology-cross-checked, n = 3 zoo) ==");
-    for (name, model, rounds) in [
-        ("simple ring ↑C3", models::named::simple_ring(3)?, 3usize),
-        ("symmetric ring n=3", models::named::symmetric_ring(3)?, 2),
-        ("star unions n=3 s=1", models::named::star_unions(3, 1)?, 2),
+    let registry = models::registry::builtin();
+    for (name, rounds) in [
+        ("ring{n=3}", 3usize),
+        ("ring{n=3,sym}", 2),
+        ("stars{n=3,s=1}", 2),
     ] {
+        let model = registry.resolve_closed_above(name, 1_000_000u128)?;
         println!("{name}:");
         for r in 1..=rounds {
             let rep = BoundsReport::compute(&model, r)?;
@@ -63,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         print!("{sweep}");
     }
     println!("\nstar unions refuse to improve with rounds (Thm 6.13):");
-    let stars = models::named::star_unions(5, 2)?;
+    let stars = registry.resolve_closed_above("stars{n=5,s=2}", 1_000_000u128)?;
     let r1 = BoundsReport::compute(&stars, 1)?;
     let r3 = BoundsReport::compute(&stars, 3)?;
     assert_eq!(

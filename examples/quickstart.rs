@@ -16,9 +16,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 4;
     println!("== quickstart: the symmetric ring model on n = {n} processes ==\n");
 
-    // 1. Build the model: closed above all relabelings of the directed
-    //    n-cycle (Def 2.3 + Def 2.4).
-    let model = models::named::symmetric_ring(n)?;
+    // 1. Look the model up in the builtin registry by its canonical spec
+    //    name: closed above all relabelings of the directed n-cycle
+    //    (Def 2.3 + Def 2.4). `models::named::symmetric_ring(n)` builds
+    //    the identical model programmatically.
+    let model = models::registry::builtin()
+        .resolve_closed_above(&format!("ring{{n={n},sym}}"), 1_000_000u128)?;
     println!(
         "model: {} generator graphs (all directed Hamiltonian cycles)\n",
         model.generators().len()

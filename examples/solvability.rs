@@ -14,13 +14,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:<20} {:>3} | {:>12} | paper", "model", "k", "verdict");
     println!("{}", "-".repeat(60));
 
-    let zoo: Vec<(&str, ClosedAboveModel)> = vec![
-        ("kernel (s=1 stars)", models::named::star_unions(3, 1)?),
-        ("stars s=2", models::named::star_unions(3, 2)?),
-        ("symmetric ring", models::named::symmetric_ring(3)?),
-        ("simple ring ↑C3", models::named::simple_ring(3)?),
-        ("tournament", models::named::tournament(3, 1 << 10)?),
-    ];
+    let registry = models::registry::builtin();
+    let zoo: Vec<(&str, ClosedAboveModel)> = [
+        "stars{n=3,s=1}",
+        "stars{n=3,s=2}",
+        "ring{n=3,sym}",
+        "ring{n=3}",
+        "tournament{n=3}",
+    ]
+    .into_iter()
+    .map(|name| Ok((name, registry.resolve_closed_above(name, 1u128 << 10)?)))
+    .collect::<Result<_, kset_agreement::models::ModelError>>()?;
 
     for (name, model) in &zoo {
         let report = BoundsReport::compute(model, 1)?;
@@ -55,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Synthesize a witness and run it as an actual algorithm.
     println!("synthesized 2-set algorithm for the symmetric ring, in action:");
-    let model = models::named::symmetric_ring(3)?;
+    let model = registry.resolve_closed_above("ring{n=3,sym}", 1u128 << 10)?;
     let Solvability::Solvable(map) = decide_one_round(&model, 2, 2, 2_000_000, 50_000_000)? else {
         unreachable!("shown solvable above");
     };

@@ -78,10 +78,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Thm 5.4's engine: protocol complex connectivity ------------------
     println!("\n== Thm 5.4: protocol-complex connectivity vs prediction ==");
-    for (name, model) in [
-        ("stars s=1, n=3", models::named::star_unions(3, 1)?),
-        ("symmetric ring n=3", models::named::symmetric_ring(3)?),
-    ] {
+    let registry = models::registry::builtin();
+    for name in ["stars{n=3,s=1}", "ring{n=3,sym}"] {
+        let model = registry.resolve_closed_above(name, 1_000_000u128)?;
         let rep = kset_agreement::core::verify::verify_protocol_connectivity(&model, 1, 500_000)?;
         println!(
             "  {name}: predicted l = {}, measured = {}, facets = {}  {}",

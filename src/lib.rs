@@ -20,8 +20,11 @@
 //! ```
 //! use kset_agreement::prelude::*;
 //!
-//! // The symmetric union-of-2-stars model on 5 processes (Thm 6.13):
-//! let model = models::named::star_unions(5, 2)?;
+//! // The symmetric union-of-2-stars model on 5 processes (Thm 6.13),
+//! // looked up in the builtin registry by its canonical spec name
+//! // (`models::named::star_unions(5, 2)` builds the identical model):
+//! let model = models::registry::builtin()
+//!     .resolve_closed_above("stars{n=5,s=2}", 1_000_000u128)?;
 //! let report = BoundsReport::compute(&model, 1)?;
 //! assert_eq!(report.best_upper().unwrap().k, 4);          // solvable
 //! assert_eq!(report.best_lower().unwrap().impossible_k, 3); // impossible

@@ -21,7 +21,7 @@ fn zoo() -> Vec<(&'static str, ClosedAboveModel)> {
         ("fig1 second", models::named::fig1_second_model().unwrap()),
         (
             "tournament n=3",
-            models::named::tournament(3, 1 << 10).unwrap(),
+            models::named::tournament_within(3, 1u128 << 10).unwrap(),
         ),
     ]
 }
@@ -95,7 +95,7 @@ fn protocol_connectivity_matches_predictions() {
         ("ring n=3", models::named::symmetric_ring(3).unwrap()),
         (
             "tournament n=3",
-            models::named::tournament(3, 1 << 10).unwrap(),
+            models::named::tournament_within(3, 1u128 << 10).unwrap(),
         ),
     ] {
         let rep = verify_protocol_connectivity(&model, 1, 500_000).unwrap();

@@ -294,7 +294,7 @@ fn section_2_1_model_examples() {
     for g in kernel.generators() {
         assert!((0..3).any(|c| g.out_set(c) == ProcSet::full(3)));
     }
-    let nonsplit = models::named::non_split(3, 1 << 18).unwrap();
+    let nonsplit = models::named::non_split_within(3, 1u128 << 18).unwrap();
     // Every kernel graph is non-split (common in-neighbor = the center).
     for g in kernel.generators() {
         assert!(nonsplit.contains(g).unwrap());
