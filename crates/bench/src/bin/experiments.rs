@@ -17,10 +17,19 @@
 //!                            # also write machine-readable results
 //! ```
 //!
-//! `--json <path>` writes per-experiment wall time and every shape
-//! assertion as JSON, so the perf trajectory is tracked across PRs
-//! (`BENCH_results.json` at the repo root is the committed baseline) and
-//! CI can diff the deterministic payload across thread counts.
+//! `--json <path>` writes per-experiment timings, every shape assertion,
+//! a per-experiment check-count summary (`counts`) and the run's
+//! instrumentation counters (`metrics`, see DESIGN.md §9) as JSON, so
+//! the perf trajectory is tracked across PRs (`BENCH_results.json` at
+//! the repo root is the committed baseline) and CI can diff the
+//! deterministic payload across thread counts. Of the three per-
+//! experiment times, `wall_ms` (on-task elapsed) is the one the
+//! committed baseline tracks; `queued_ms` and `exclusive_ms` qualify it
+//! (see `ksa_bench::ExperimentTiming`).
+//!
+//! `--trace <path>` records a chrome://tracing-compatible trace of the
+//! run (experiment, round, rank-reduction, CSP spans): open the file via
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
 //!
 //! `--models <glob>` selects models from the builtin registry by
 //! canonical name (`*`/`?` wildcards; comma-separated patterns respect
@@ -31,7 +40,8 @@
 //! Exit code 0 iff every executed experiment's shape assertions held.
 
 use ksa_bench::{
-    run_experiments_with_models, ExperimentOutcome, ALL_EXPERIMENTS, SMOKE_EXPERIMENTS,
+    run_experiments_with_models, ExperimentOutcome, ExperimentTiming, ALL_EXPERIMENTS,
+    SMOKE_EXPERIMENTS,
 };
 use std::process::ExitCode;
 
@@ -52,28 +62,46 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Renders the run as the `BENCH_results.json` document. Hand-rolled:
-/// the build environment has no serde; the shape is flat enough that
-/// string assembly is clearer than a vendored serializer.
-fn render_json(results: &[(ExperimentOutcome, f64)]) -> String {
+/// Renders the run as the `BENCH_results.json` document (schema 2:
+/// three timing fields per experiment, the folded `counts` summary and
+/// the `metrics` section — the old side file is gone). Hand-rolled: the
+/// build environment has no serde; the shape is flat enough that string
+/// assembly is clearer than a vendored serializer.
+fn render_json(results: &[(ExperimentOutcome, ExperimentTiming)]) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"ksa-bench-results/1\",\n");
+    out.push_str("{\n  \"schema\": \"ksa-bench-results/2\",\n");
     out.push_str(&format!(
         "  \"ksa_threads\": \"{}\",\n",
         json_escape(&std::env::var("KSA_THREADS").unwrap_or_else(|_| "auto".into()))
     ));
     out.push_str("  \"experiments\": [\n");
-    for (i, (outcome, wall_ms)) in results.iter().enumerate() {
+    for (i, (outcome, timing)) in results.iter().enumerate() {
         let checks_failed = outcome.checks.iter().filter(|(_, ok)| !ok).count();
         out.push_str("    {\n");
         out.push_str(&format!("      \"id\": \"{}\",\n", json_escape(outcome.id)));
         out.push_str(&format!("      \"passed\": {},\n", outcome.passed));
-        out.push_str(&format!("      \"wall_ms\": {wall_ms:.1},\n"));
+        // `wall_ms` (on-task elapsed) is the tracked series; the other
+        // two qualify it (see ksa_bench::ExperimentTiming).
+        out.push_str(&format!("      \"wall_ms\": {:.1},\n", timing.wall_ms));
+        out.push_str(&format!("      \"queued_ms\": {:.1},\n", timing.queued_ms));
+        out.push_str(&format!(
+            "      \"exclusive_ms\": {:.1},\n",
+            timing.exclusive_ms
+        ));
         out.push_str(&format!(
             "      \"checks_passed\": {},\n",
             outcome.checks.len() - checks_failed
         ));
         out.push_str(&format!("      \"checks_failed\": {checks_failed},\n"));
+        out.push_str(&format!(
+            "      \"skipped_models\": [{}],\n",
+            outcome
+                .skipped_models
+                .iter()
+                .map(|m| format!("\"{}\"", json_escape(m)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
         out.push_str("      \"checks\": [\n");
         for (j, (what, ok)) in outcome.checks.iter().enumerate() {
             out.push_str(&format!(
@@ -93,7 +121,58 @@ fn render_json(results: &[(ExperimentOutcome, f64)]) -> String {
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+
+    // The per-experiment check-count summary (the former
+    // `BENCH_results.json.counts` side file, folded in).
+    out.push_str("  \"counts\": {\n");
+    for (i, (outcome, _)) in results.iter().enumerate() {
+        let failed = outcome.checks.iter().filter(|(_, ok)| !ok).count();
+        out.push_str(&format!(
+            "    \"{}\": \"{}/{}\"{}\n",
+            json_escape(outcome.id),
+            outcome.checks.len() - failed,
+            outcome.checks.len(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n");
+
+    // Instrumentation counters for the whole run (DESIGN.md §9). The
+    // deterministic tier is part of the cross-thread determinism
+    // contract and is diffed by CI; everything under "perf" is
+    // scheduling-dependent and must be stripped first.
+    let metrics = ksa_obs::snapshot();
+    out.push_str("  \"metrics\": {\n    \"deterministic\": {\n");
+    for (i, (name, value)) in metrics.det.iter().enumerate() {
+        out.push_str(&format!(
+            "      \"{name}\": {value}{}\n",
+            if i + 1 < metrics.det.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    },\n    \"perf\": {\n      \"counters\": {\n");
+    for (i, (name, value)) in metrics.perf.iter().enumerate() {
+        out.push_str(&format!(
+            "        \"{name}\": {value}{}\n",
+            if i + 1 < metrics.perf.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("      },\n      \"workers\": [\n");
+    for (i, w) in metrics.workers.iter().enumerate() {
+        out.push_str(&format!(
+            "        {{\"label\": \"{}\", \"steals\": {}, \"parks\": {}, \"spawns\": {}}}{}\n",
+            json_escape(&w.label),
+            w.steals,
+            w.parks,
+            w.spawns,
+            if i + 1 < metrics.workers.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("      ]\n    }\n  }\n}\n");
     out
 }
 
@@ -106,9 +185,10 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    // Pull out `--json <path>` / `--models <glob>` / `--list-models`
-    // before interpreting the rest as ids.
+    // Pull out `--json <path>` / `--trace <path>` / `--models <glob>` /
+    // `--list-models` before interpreting the rest as ids.
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut model_globs: Vec<String> = Vec::new();
     let mut list_models = false;
     let mut selected: Vec<String> = Vec::new();
@@ -119,6 +199,14 @@ fn main() -> ExitCode {
                 Some(path) => json_path = Some(path),
                 None => {
                     eprintln!("--json requires a path argument");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if arg == "--trace" {
+            match it.next() {
+                Some(path) => trace_path = Some(path),
+                None => {
+                    eprintln!("--trace requires a path argument");
                     return ExitCode::FAILURE;
                 }
             }
@@ -163,20 +251,27 @@ fn main() -> ExitCode {
         selected.iter().map(|s| s.as_str()).collect()
     };
 
+    if trace_path.is_some() {
+        ksa_obs::trace_start();
+    }
+
     // Whole experiments fan out as `ksa-exec` tasks (under the default
     // `parallel` feature); results come back in input order, so the
     // printed reports and the JSON payload are independent of the thread
     // count.
     let mut all_ok = true;
-    let mut results: Vec<(ExperimentOutcome, f64)> = Vec::new();
-    for (id, (result, wall_ms)) in ids
+    let mut results: Vec<(ExperimentOutcome, ExperimentTiming)> = Vec::new();
+    for (id, (result, timing)) in ids
         .iter()
         .zip(run_experiments_with_models(&ids, models.as_deref()))
     {
         match result {
             Ok(outcome) => {
                 println!("================================================================");
-                println!("experiment: {} ({wall_ms:.0} ms)", outcome.id);
+                println!(
+                    "experiment: {} ({:.0} ms on-task, {:.0} ms exclusive)",
+                    outcome.id, timing.wall_ms, timing.exclusive_ms
+                );
                 println!("================================================================");
                 println!("{}", outcome.report);
                 println!(
@@ -184,12 +279,22 @@ fn main() -> ExitCode {
                     if outcome.passed { "PASSED" } else { "FAILED" }
                 );
                 all_ok &= outcome.passed;
-                results.push((outcome, wall_ms));
+                results.push((outcome, timing));
             }
             Err(e) => {
                 eprintln!("experiment {id}: error: {e}");
                 all_ok = false;
             }
+        }
+    }
+
+    if let Some(path) = trace_path {
+        let doc = ksa_obs::trace_stop();
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("failed to write {path}: {e}");
+            all_ok = false;
+        } else {
+            println!("wrote chrome://tracing trace to {path}");
         }
     }
 

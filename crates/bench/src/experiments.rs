@@ -891,7 +891,7 @@ pub fn hunt(models: Option<&str>) -> R {
     ));
     let mut violations: Vec<String> = Vec::new();
     let mut scanned = 0usize;
-    let mut skipped = 0usize;
+    let mut skipped: Vec<String> = Vec::new();
     for name in selected {
         // Deterministic admission: models whose materialization estimate
         // alone exceeds the per-model budget are skipped up front (broad
@@ -906,7 +906,7 @@ pub fn hunt(models: Option<&str>) -> R {
             out.line(format!(
                 "{name:<36} skipped (estimated work {estimate} over budget)"
             ));
-            skipped += 1;
+            skipped.push(name.to_string());
             continue;
         }
         match cross_check_round_sweep_by_name(name, 1, ROUNDS, SWEEP_BUDGET) {
@@ -932,14 +932,19 @@ pub fn hunt(models: Option<&str>) -> R {
             }
             Err(e) => {
                 out.line(format!("{name:<36} skipped ({e})"));
-                skipped += 1;
+                skipped.push(name.to_string());
             }
         }
     }
     out.line(format!(
-        "scanned {scanned} models, skipped {skipped}; a violation line names its exact repro spec"
+        "scanned {scanned} models, skipped {}; a violation line names its exact repro spec",
+        skipped.len()
     ));
+    if !skipped.is_empty() {
+        out.line(format!("skipped models: {}", skipped.join(", ")));
+    }
     out.check("at least one model admitted and scanned", scanned > 0);
+    out.skipped_models = skipped;
     for v in &violations {
         out.check(&format!("VIOLATION {v}"), false);
     }

@@ -20,6 +20,11 @@ pub struct ExperimentOutcome {
     /// machine-readable mirror of the `[ok]`/`[FAIL]` report lines, used
     /// by `experiments --json` (and the CI determinism diff).
     pub checks: Vec<(String, bool)>,
+    /// Models the experiment selected but did not scan because their
+    /// admission estimate exceeded the per-model budget. Empty for
+    /// experiments without budgeted model sweeps; `hunt` fills it so
+    /// coverage gaps are visible in the table and `--json`.
+    pub skipped_models: Vec<String>,
 }
 
 impl ExperimentOutcome {
@@ -29,6 +34,7 @@ impl ExperimentOutcome {
             report: String::new(),
             passed: true,
             checks: Vec::new(),
+            skipped_models: Vec::new(),
         }
     }
 
@@ -138,7 +144,30 @@ pub fn run_experiment_with_models(
     result.map_err(|e| e.to_string())
 }
 
-/// Runs the given experiments and returns `(outcome-or-error, wall_ms)`
+/// Wall-clock measurements of one experiment inside the fan-out (see
+/// DESIGN.md §9.4). All three are perf-tier values: nondeterministic,
+/// stripped before any cross-thread determinism diff.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentTiming {
+    /// Queued-to-complete: from the batch being dispatched to this
+    /// experiment finishing. Includes time spent waiting for a worker,
+    /// so it is the latency a caller of the batch observes.
+    pub queued_ms: f64,
+    /// On-task elapsed: from the experiment starting on a worker to its
+    /// completion. This is the historical `wall_ms` that
+    /// `BENCH_results.json` tracks across PRs — an *upper bound* on the
+    /// experiment's own cost, because a worker blocked on this
+    /// experiment's inner joins may steal and run sibling experiments'
+    /// subtasks in the meantime.
+    pub wall_ms: f64,
+    /// Exclusive on-task time: [`wall_ms`](Self::wall_ms) minus the time
+    /// this worker spent executing *stolen* (foreign) work while inside
+    /// the experiment, via [`ksa_exec::helped_nanos`]. The closest
+    /// available answer to "what did this experiment itself cost".
+    pub exclusive_ms: f64,
+}
+
+/// Runs the given experiments and returns `(outcome-or-error, timing)`
 /// per id, **in input order**.
 ///
 /// With the `parallel` feature each experiment is a `ksa-exec` task —
@@ -147,11 +176,8 @@ pub fn run_experiment_with_models(
 /// engine. Results merge in input order and every experiment is
 /// deterministic given its id, so reports, exit codes and `--json`
 /// payloads are identical at any `KSA_THREADS`; only the wall times move.
-/// Wall time is measured inside each task; note that while an experiment
-/// waits on its own inner joins, its worker may help *sibling*
-/// experiments, so at small pool sizes a per-experiment time is an upper
-/// bound (elapsed, not exclusive CPU) — the total run time is what the
-/// fan-out shrinks on multicore.
+/// See [`ExperimentTiming`] for what each of the three reported times
+/// means inside the fan-out.
 ///
 /// # Examples
 ///
@@ -161,7 +187,7 @@ pub fn run_experiment_with_models(
 /// assert!(results.iter().all(|(r, _)| r.as_ref().is_ok_and(|o| o.passed)));
 /// assert_eq!(results[0].0.as_ref().unwrap().id, "fig2"); // input order
 /// ```
-pub fn run_experiments(ids: &[&str]) -> Vec<(Result<ExperimentOutcome, String>, f64)> {
+pub fn run_experiments(ids: &[&str]) -> Vec<(Result<ExperimentOutcome, String>, ExperimentTiming)> {
     run_experiments_with_models(ids, None)
 }
 
@@ -170,11 +196,25 @@ pub fn run_experiments(ids: &[&str]) -> Vec<(Result<ExperimentOutcome, String>, 
 pub fn run_experiments_with_models(
     ids: &[&str],
     models: Option<&str>,
-) -> Vec<(Result<ExperimentOutcome, String>, f64)> {
+) -> Vec<(Result<ExperimentOutcome, String>, ExperimentTiming)> {
+    let dispatched = std::time::Instant::now();
     let timed = |id: &&str| {
+        let _span = ksa_obs::span("experiment", || (*id).to_string());
         let start = std::time::Instant::now();
+        #[cfg(feature = "parallel")]
+        let helped_before = ksa_exec::helped_nanos();
         let result = run_experiment_with_models(id, models);
-        (result, start.elapsed().as_secs_f64() * 1e3)
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        #[cfg(feature = "parallel")]
+        let helped_ms = (ksa_exec::helped_nanos() - helped_before) as f64 / 1e6;
+        #[cfg(not(feature = "parallel"))]
+        let helped_ms = 0.0;
+        let timing = ExperimentTiming {
+            queued_ms: dispatched.elapsed().as_secs_f64() * 1e3,
+            wall_ms,
+            exclusive_ms: (wall_ms - helped_ms).max(0.0),
+        };
+        (result, timing)
     };
     #[cfg(feature = "parallel")]
     {

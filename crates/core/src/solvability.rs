@@ -841,6 +841,7 @@ fn solve_csp(
     node_budget: usize,
 ) -> Result<Solvability, CoreError> {
     let instance = CspInstance::new(views, executions, k);
+    let _span = ksa_obs::span("core", || "csp_decide").arg("views", instance.views.len() as u64);
     #[cfg(feature = "parallel")]
     {
         solve_csp_portfolio(instance, node_budget)
@@ -892,6 +893,7 @@ fn solve_csp_seq(instance: CspInstance, node_budget: usize) -> Result<Solvabilit
 
     let mut assignment: Vec<Option<Value>> = vec![None; instance.views.len()];
     let mut nodes = 0usize;
+    ksa_obs::count(ksa_obs::Counter::CspVerdicts, 1);
     match dfs(
         &instance,
         &order,
@@ -958,6 +960,7 @@ impl StratCtx<'_> {
         *local += 1;
         if *local >= 1024 {
             self.nodes.fetch_add(*local, Ordering::Relaxed);
+            ksa_obs::perf_count(ksa_obs::PerfCounter::PortfolioNodes, *local as u64);
             *local = 0;
         }
         self.nodes.load(Ordering::Relaxed) + *local > self.budget
@@ -1042,6 +1045,7 @@ fn par_branches(ctx: &StratCtx<'_>, depth: usize, mut branches: Vec<Vec<Option<V
             let mut local = 0usize;
             let out = pdfs(ctx, depth + 1, &mut assignment, &mut local);
             ctx.nodes.fetch_add(local, Ordering::Relaxed);
+            ksa_obs::perf_count(ksa_obs::PerfCounter::PortfolioNodes, local as u64);
             out
         }
         _ => {
@@ -1094,6 +1098,7 @@ fn solve_csp_portfolio(
     use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use std::sync::Mutex;
 
+    ksa_obs::count(ksa_obs::Counter::CspVerdicts, 1);
     let threads = ksa_exec::current_num_threads();
     let split_depth = if threads <= 1 {
         // One worker: skip forking entirely — node accounting then
@@ -1126,11 +1131,16 @@ fn solve_csp_portfolio(
     let canonical_out_of_budget = AtomicBool::new(false);
     let winner: Mutex<Option<Branch>> = Mutex::new(None);
     let csp = &instance;
-    let report = |result: Branch| {
+    // Returns whether this result became the winning verdict, so the
+    // call sites can attribute the win to their strategy family.
+    let report = |result: Branch| -> bool {
         let mut slot = winner.lock().expect("winner slot poisoned");
         if slot.is_none() {
             *slot = Some(result);
             cancel.store(true, Ordering::SeqCst);
+            true
+        } else {
+            false
         }
     };
 
@@ -1162,8 +1172,14 @@ fn solve_csp_portfolio(
                 };
                 let mut assignment = vec![None; csp.views.len()];
                 let mut local = 0usize;
-                match pdfs(&ctx, 0, &mut assignment, &mut local) {
-                    done @ (Branch::Solved(_) | Branch::Exhausted) => report(done),
+                let out = pdfs(&ctx, 0, &mut assignment, &mut local);
+                ksa_obs::perf_count(ksa_obs::PerfCounter::PortfolioNodes, local as u64);
+                match out {
+                    done @ (Branch::Solved(_) | Branch::Exhausted) => {
+                        if report(done) {
+                            ksa_obs::perf_count(ksa_obs::PerfCounter::PortfolioCanonicalWins, 1);
+                        }
+                    }
                     Branch::OutOfBudget => canonical_oob.store(true, Ordering::SeqCst),
                     Branch::Cancelled => {}
                 }
@@ -1192,11 +1208,19 @@ fn solve_csp_portfolio(
                         nodes: &nodes,
                         budget: slice,
                     };
+                    ksa_obs::perf_count(ksa_obs::PerfCounter::PortfolioRestartSlices, 1);
                     let mut assignment = vec![None; csp.views.len()];
                     let mut local = 0usize;
-                    match pdfs(&ctx, 0, &mut assignment, &mut local) {
+                    let out = pdfs(&ctx, 0, &mut assignment, &mut local);
+                    ksa_obs::perf_count(ksa_obs::PerfCounter::PortfolioNodes, local as u64);
+                    match out {
                         done @ (Branch::Solved(_) | Branch::Exhausted) => {
-                            report(done);
+                            if report(done) {
+                                ksa_obs::perf_count(
+                                    ksa_obs::PerfCounter::PortfolioAlternateWins,
+                                    1,
+                                );
+                            }
                             break;
                         }
                         Branch::Cancelled => break,

@@ -65,7 +65,7 @@ mod job;
 mod pool;
 mod scope;
 
-pub use pool::ThreadPool;
+pub use pool::{helped_nanos, ThreadPool};
 pub use scope::Scope;
 
 /// The rayon-compatible imports: `par_iter`, `into_par_iter`, and the

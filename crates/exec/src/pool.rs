@@ -11,12 +11,58 @@
 
 use crate::job::{HeapJob, JobRef, LockLatch, StackJob};
 use crate::{deque::Deque, deque::Steal};
+use ksa_obs::PerfCounter;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
+
+thread_local! {
+    /// Nanoseconds this thread has spent executing jobs acquired from
+    /// *outside* its own deque (injector pops, sibling steals) while
+    /// waiting inside a `join`/`scope`. See [`helped_nanos`].
+    static HELPED_NS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// This thread's cumulative helped-time account, in nanoseconds.
+///
+/// While a worker waits for a stolen job to finish it moonlights on work
+/// from the injector or sibling deques; that wall time belongs to *other*
+/// tasks, not to whatever frame the worker is nominally inside. Callers
+/// timing a task on a worker thread (the bench fan-out) subtract the
+/// delta of this account across the task to get exclusive on-task time.
+///
+/// Accounting is self-time based: when helped jobs nest (a helped job
+/// itself waits and helps), the outer job's recorded time absorbs the
+/// inner accruals, so any frame's delta is at most its elapsed time and
+/// never double-counts. Own-deque pops are *not* counted — those are the
+/// frame's own split-off work. Time helping descendants of the frame's
+/// own task that were stolen and re-split by siblings is counted as
+/// helped, so the delta is an upper bound on foreign work.
+pub fn helped_nanos() -> u64 {
+    HELPED_NS.with(Cell::get)
+}
+
+/// Executes a job acquired from the injector or a sibling deque during a
+/// wait loop, charging its wall time to this thread's helped account
+/// (absorbing any accruals made by nested helping inside it).
+///
+/// # Safety
+///
+/// Same contract as `JobRef::execute`: the job must be executed exactly
+/// once.
+pub(crate) unsafe fn execute_helped(job: JobRef) {
+    let before = HELPED_NS.with(Cell::get);
+    let start = std::time::Instant::now();
+    job.execute();
+    let elapsed = start.elapsed().as_nanos() as u64;
+    HELPED_NS.with(|c| {
+        let inner = c.get() - before;
+        c.set(before + elapsed.max(inner));
+    });
+}
 
 /// Distinguishes registries so a thread can tell which pool it belongs
 /// to (pools are rare; ids never wrap in practice).
@@ -66,6 +112,7 @@ impl Registry {
     /// `index` must be the calling thread's own worker index in this
     /// registry.
     pub(crate) unsafe fn push_local(&self, index: usize, job: JobRef) {
+        ksa_obs::perf_count(PerfCounter::ExecSpawns, 1);
         self.deques[index].push(job);
         self.wake();
     }
@@ -73,6 +120,7 @@ impl Registry {
     /// Submits a job from outside (or from a worker, when it has no
     /// deque slot of its own to use).
     pub(crate) fn inject(&self, job: JobRef) {
+        ksa_obs::perf_count(PerfCounter::ExecSpawns, 1);
         self.injector
             .lock()
             .expect("injector poisoned")
@@ -89,11 +137,23 @@ impl Registry {
         self.steal_work(index)
     }
 
+    /// Pops the calling worker's own deque (wait loops distinguish own
+    /// work from helped work for the [`helped_nanos`] account).
+    ///
+    /// # Safety
+    ///
+    /// `index` must be the calling thread's own worker index in this
+    /// registry.
+    pub(crate) unsafe fn pop_own(&self, index: usize) -> Option<JobRef> {
+        self.deques[index].pop()
+    }
+
     /// Work from anywhere but `index`'s own deque (also used while a
     /// worker waits on a latch, so it keeps the pool busy instead of
     /// spinning).
     pub(crate) fn steal_work(&self, index: usize) -> Option<JobRef> {
         if let Some(job) = self.injector.lock().expect("injector poisoned").pop_front() {
+            ksa_obs::perf_count(PerfCounter::ExecSteals, 1);
             return Some(job);
         }
         let n = self.deques.len();
@@ -104,7 +164,10 @@ impl Registry {
             for offset in 1..n {
                 let victim = (index + offset) % n;
                 match self.deques[victim].steal() {
-                    Steal::Success(job) => return Some(job),
+                    Steal::Success(job) => {
+                        ksa_obs::perf_count(PerfCounter::ExecSteals, 1);
+                        return Some(job);
+                    }
                     Steal::Retry => contended = true,
                     Steal::Empty => {}
                 }
@@ -126,6 +189,7 @@ impl Registry {
     }
 
     fn park(&self) {
+        ksa_obs::perf_count(PerfCounter::ExecParks, 1);
         self.sleepers.fetch_add(1, Ordering::SeqCst);
         let guard = self.sleep_mutex.lock().expect("sleep mutex poisoned");
         let _ = self
@@ -328,7 +392,10 @@ where
             unsafe { job.execute() };
             spins = 0;
         } else if let Some(job) = registry.steal_work(index) {
-            unsafe { job.execute() };
+            // Stolen/injected work belongs to some other frame; charge
+            // its wall time to the helped account so task timers can
+            // subtract it (see `helped_nanos`).
+            unsafe { execute_helped(job) };
             spins = 0;
         } else if spins < 64 {
             std::hint::spin_loop();

@@ -102,8 +102,14 @@ where
             .expect("scope body runs on a worker");
         let mut spins = 0u32;
         while scope.pending.load(Ordering::SeqCst) != 0 {
-            if let Some(job) = registry.find_work(index) {
+            // Own-deque pops are this scope's spawned work; injector and
+            // sibling steals belong to other frames and are charged to
+            // the helped account (`crate::helped_nanos`).
+            if let Some(job) = unsafe { registry.pop_own(index) } {
                 unsafe { job.execute() };
+                spins = 0;
+            } else if let Some(job) = registry.steal_work(index) {
+                unsafe { crate::pool::execute_helped(job) };
                 spins = 0;
             } else if spins < 64 {
                 std::hint::spin_loop();

@@ -42,12 +42,14 @@ impl RunBudget {
     /// budget.
     pub fn admit(&self, what: &'static str, estimated: u128) -> Result<(), BudgetExceeded> {
         if estimated > self.max_executions {
+            ksa_obs::count(ksa_obs::Counter::BudgetRejections, 1);
             return Err(BudgetExceeded {
                 what,
                 estimated,
                 limit: self.max_executions,
             });
         }
+        ksa_obs::count(ksa_obs::Counter::BudgetAdmissions, 1);
         Ok(())
     }
 }

@@ -43,6 +43,7 @@ pub fn covering_number(g: &Digraph, i: usize) -> Result<usize, GraphError> {
             domain: "[1, n]",
         });
     }
+    ksa_obs::count(ksa_obs::Counter::DominationQueries, 1);
     let mut best = n;
     for p in g.procs().k_subsets(i) {
         let size = g.out_union(p).len();

@@ -107,6 +107,7 @@ pub fn distributed_domination_number(graphs: &[Digraph]) -> Result<usize, GraphE
 /// Same conditions as [`distributed_domination_number`].
 pub fn distributed_domination_number_exact(graphs: &[Digraph]) -> Result<usize, GraphError> {
     check_set(graphs)?;
+    ksa_obs::count(ksa_obs::Counter::DominationQueries, 1);
     let n = graphs[0].n();
     let full = ProcSet::full(n);
     let graph_idx = ProcSet::full(graphs.len().min(crate::proc_set::MAX_PROCS));

@@ -52,6 +52,7 @@ pub fn domination_number(g: &Digraph) -> usize {
 ///
 /// Always succeeds: `Π` itself dominates thanks to self-loops.
 pub fn minimum_dominating_set(g: &Digraph) -> DominatingSet {
+    ksa_obs::count(ksa_obs::Counter::DominationQueries, 1);
     let n = g.n();
     let full = ProcSet::full(n);
 

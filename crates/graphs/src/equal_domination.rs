@@ -34,6 +34,7 @@ use crate::error::GraphError;
 /// assert_eq!(equal_domination_number(&star), 4);
 /// ```
 pub fn equal_domination_number(g: &Digraph) -> usize {
+    ksa_obs::count(ksa_obs::Counter::DominationQueries, 1);
     g.n() - g.min_in_degree() + 1
 }
 

@@ -58,6 +58,7 @@ pub fn max_covering_number_with(
             domain: "[1, γ_dist(S) − 1]",
         });
     }
+    ksa_obs::count(ksa_obs::Counter::DominationQueries, 1);
     let full = ProcSet::full(n);
     let m = i.min(graphs.len());
 

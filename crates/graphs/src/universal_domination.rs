@@ -58,6 +58,7 @@ pub fn minimum_universal_dominating_set(
     graphs: &[Digraph],
 ) -> Result<UniversalDominatingSet, GraphError> {
     check_set(graphs)?;
+    ksa_obs::count(ksa_obs::Counter::DominationQueries, 1);
     let n = graphs[0].n();
     // Requirements: P must hit In_G(q) for every (G, q); dedup them.
     let mut reqs: Vec<ProcSet> = graphs

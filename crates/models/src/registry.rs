@@ -164,16 +164,30 @@ impl Registry {
         spec: &ModelSpec,
         budget: RunBudget,
     ) -> Result<Arc<ResolvedModel>, ModelError> {
+        ksa_obs::count(ksa_obs::Counter::RegistryLookups, 1);
         if let Some(hit) = self.cache.lock().expect("registry cache").get(key) {
             return Ok(Arc::clone(hit));
         }
         // Build outside the lock: materialization can be slow, and an
         // admission error must not poison the cache. Two identical
         // concurrent misses both build and one wins — benign, the results
-        // are deterministic and equal.
+        // are deterministic and equal. Only the unique insert counts as a
+        // materialization (deterministic: one per distinct key); the
+        // loser's redundant build is a perf-tier event, since whether the
+        // race happens at all depends on scheduling.
         let built = Arc::new(spec.materialize(budget)?);
+        use std::collections::btree_map::Entry;
         let mut cache = self.cache.lock().expect("registry cache");
-        Ok(Arc::clone(cache.entry(key.to_string()).or_insert(built)))
+        match cache.entry(key.to_string()) {
+            Entry::Occupied(e) => {
+                ksa_obs::perf_count(ksa_obs::PerfCounter::RegistryRedundantBuilds, 1);
+                Ok(Arc::clone(e.get()))
+            }
+            Entry::Vacant(v) => {
+                ksa_obs::count(ksa_obs::Counter::RegistryMaterializations, 1);
+                Ok(Arc::clone(v.insert(built)))
+            }
+        }
     }
 }
 

@@ -151,6 +151,7 @@ pub fn check_exhaustive<A: ObliviousAlgorithm + Sync + ?Sized>(
         })
         .unwrap_or(u128::MAX);
     budget.admit("exhaustive check", total)?;
+    let _span = ksa_obs::span("runtime", || "check_exhaustive").arg("rounds", rounds as u64);
 
     // One independent sub-report per generator schedule; merged in
     // schedule order, so the parallel and sequential paths return
@@ -191,6 +192,10 @@ pub fn check_exhaustive<A: ObliviousAlgorithm + Sync + ?Sized>(
     for schedule in generator_schedules(model, rounds) {
         report.merge(per_schedule(&schedule)?);
     }
+    ksa_obs::count(
+        ksa_obs::Counter::CheckerExecutions,
+        report.executions as u64,
+    );
     Ok(report)
 }
 
@@ -211,6 +216,9 @@ pub fn check_with_supersets<A: ObliviousAlgorithm + Sync + ?Sized>(
     budget: impl Into<RunBudget>,
 ) -> Result<CheckReport, RuntimeError> {
     let mut base = check_exhaustive(algorithm, model, values, rounds, budget)?;
+    // The exhaustive prefix already counted its executions above; only
+    // the superset samples below are new.
+    let exhaustive_executions = base.executions;
     let n = model.n();
 
     // Each schedule perturbs with its own generator, derived from
@@ -257,6 +265,10 @@ pub fn check_with_supersets<A: ObliviousAlgorithm + Sync + ?Sized>(
     for (idx, schedule) in generator_schedules(model, rounds).enumerate() {
         base.merge(per_schedule((idx, schedule.as_slice()))?);
     }
+    ksa_obs::count(
+        ksa_obs::Counter::CheckerExecutions,
+        (base.executions - exhaustive_executions) as u64,
+    );
     Ok(base)
 }
 

@@ -53,6 +53,7 @@
 use crate::complex::Complex;
 use crate::connectivity::Connectivity;
 use crate::simplex::{Vertex, View};
+use ksa_obs::Counter;
 use std::collections::HashMap;
 
 #[cfg(feature = "parallel")]
@@ -288,6 +289,10 @@ impl ChainComplex {
                 data: sort_dedup_chunks(data, k + 1),
             })
             .collect();
+        ksa_obs::count(
+            Counter::FacesClosed,
+            arenas.iter().map(|a| a.count() as u64).sum(),
+        );
         let mut ranks = vec![None; dim + 2];
         ranks[0] = Some(1); // augmentation on a non-void complex
         ranks[dim + 1] = Some(0);
@@ -314,7 +319,7 @@ impl ChainComplex {
     /// `k`-simplex.
     fn boundary_rows(&self, k: usize) -> Vec<Vec<u32>> {
         let (upper, lower) = (&self.arenas[k], &self.arenas[k - 1]);
-        (0..upper.count())
+        let rows: Vec<Vec<u32>> = (0..upper.count())
             .map(|r| {
                 let chunk = upper.row(r);
                 let mut row: Vec<u32> = (0..chunk.len())
@@ -327,16 +332,24 @@ impl ChainComplex {
                 row.sort_unstable();
                 row
             })
-            .collect()
+            .collect();
+        ksa_obs::count(Counter::BoundaryRows, rows.len() as u64);
+        ksa_obs::count(
+            Counter::BoundaryNnz,
+            rows.iter().map(|r| r.len() as u64).sum(),
+        );
+        rows
     }
 
     /// Computes the rank of `∂_k` without touching the cache (pure, so
     /// the parallel Betti fan-out can share `&self`).
     fn compute_rank(&self, k: usize) -> usize {
+        let _span = ksa_obs::span("chain", || "rank_reduce").arg("dim", k as u64);
         let mut ech = Echelon::default();
         for row in self.boundary_rows(k) {
             ech.absorb(row);
         }
+        ksa_obs::count(Counter::RanksComputed, 1);
         ech.rank()
     }
 
@@ -407,6 +420,9 @@ impl ChainComplex {
         let cap = k.min(self.dim()).max(-1);
         for j in 0..=cap {
             if self.betti_at(j as usize) != 0 {
+                // The scan decided before reaching its cap: dimensions
+                // above j were never reduced.
+                ksa_obs::count(Counter::ConnectivityEarlyExits, 1);
                 return Connectivity::Exactly(j - 1);
             }
         }
@@ -633,12 +649,14 @@ impl<V: View> ChainSweep<V> {
                 data: Vec::new(),
             };
             for k in 1..=dim {
+                let _span = ksa_obs::span("chain", || "rank_resume").arg("dim", k as u64);
                 let prev_k = self.prev.as_ref().and_then(|p| p.get(k)).unwrap_or(&empty);
                 let skip_shared = warm && prev_k.count() > 0;
                 // Both arenas are sorted, so skipping the already-absorbed
                 // shared chunks is a single linear merge: `j` chases the
                 // current row through the previous arena.
                 let mut j = 0usize;
+                let (mut fresh_rows, mut fresh_nnz) = (0u64, 0u64);
                 for i in 0..cur[k].count() {
                     let chunk = cur[k].row(i);
                     if skip_shared {
@@ -663,8 +681,13 @@ impl<V: View> ChainSweep<V> {
                         })
                         .collect();
                     row.sort_unstable();
+                    fresh_rows += 1;
+                    fresh_nnz += row.len() as u64;
                     bases[k].absorb(row);
                 }
+                ksa_obs::count(Counter::BoundaryRows, fresh_rows);
+                ksa_obs::count(Counter::BoundaryNnz, fresh_nnz);
+                ksa_obs::count(Counter::RanksComputed, 1);
             }
             // Betti from the resumed ranks; rank ∂_0 = 1, ∂_{dim+1} = 0.
             let rank = |k: usize| -> usize {

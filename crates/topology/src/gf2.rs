@@ -127,7 +127,9 @@ impl Gf2Matrix {
     /// each block's table sweep out on the `ksa-exec` pool; the value is
     /// always identical to [`Gf2Matrix::rank_seq`].
     pub fn rank(&self) -> usize {
+        let _span = ksa_obs::span("gf2", || "rank_reduce").arg("rows", self.rows as u64);
         let mut m = self.clone();
+        ksa_obs::count(ksa_obs::Counter::RanksComputed, 1);
         m.rank_destructive_m4ri()
     }
 
@@ -151,6 +153,7 @@ impl Gf2Matrix {
     /// ```
     pub fn rank_seq(&self) -> usize {
         let mut m = self.clone();
+        ksa_obs::count(ksa_obs::Counter::RanksComputed, 1);
         m.rank_destructive_seq()
     }
 

@@ -83,6 +83,10 @@ pub fn nerve_complex<V: View>(cover: &[Complex<V>]) -> Complex<()> {
         }
         frontier = next;
     }
+    ksa_obs::count(
+        ksa_obs::Counter::FacetsEnumerated,
+        facet_candidates.len() as u64,
+    );
     Complex::from_facets(facet_candidates.into_iter().map(|set| {
         Simplex::new(set.into_iter().map(|i| Vertex::new(i, ())).collect())
             .expect("indices are distinct")

@@ -136,6 +136,7 @@ impl<V: View> Pseudosphere<V> {
             return Ok(Complex::void());
         }
         let lists: Vec<&[V]> = active.iter().map(|&c| self.views_of(c)).collect();
+        ksa_obs::count(ksa_obs::Counter::FacetsEnumerated, count as u64);
 
         // The parallel decode indexes facets as usize; counts beyond that
         // (possible when the caller passes a limit above usize::MAX) fall

@@ -35,6 +35,7 @@ use crate::interpretation::FlatView;
 use crate::simplex::{Simplex, Vertex, View};
 use ksa_graphs::budget::RunBudget;
 use ksa_graphs::Digraph;
+use ksa_obs::Counter;
 
 #[cfg(feature = "parallel")]
 use ksa_exec::prelude::*;
@@ -270,6 +271,7 @@ fn round_step<'a>(
     distinct.sort_unstable();
     distinct.dedup();
     let table: ViewTable<InternedView> = ViewTable::canonical(distinct.into_iter().cloned());
+    ksa_obs::count(Counter::ViewsInterned, table.len() as u64);
     let id_lists: Vec<Vec<Vec<u32>>> = pair_views
         .iter()
         .map(|views| {
@@ -288,6 +290,10 @@ fn round_step<'a>(
     // canonicalization at the merge (Complex::from_facets).
     let groups: Vec<Vec<Simplex<u32>>> =
         map_items(&id_lists, |lists| materialize_pair(lists), use_parallel);
+    ksa_obs::count(
+        Counter::FacetsEnumerated,
+        groups.iter().map(|g| g.len() as u64).sum(),
+    );
 
     Ok((table, Complex::from_facets(groups.into_iter().flatten())))
 }
@@ -307,9 +313,11 @@ fn rounds_driver<V: View>(
         return Err(TopologyError::ZeroRounds);
     }
     let (input_table, input_facets) = intern_input(input);
+    ksa_obs::count(Counter::ViewsInterned, input_table.len() as u64);
     let mut tables = Vec::with_capacity(rounds);
     let mut complexes: Vec<Complex<u32>> = Vec::with_capacity(rounds);
-    for _ in 0..rounds {
+    for t in 0..rounds {
+        let _span = ksa_obs::span("topology", || "round").arg("round", t as u64 + 1);
         // Borrow the previous round's facets in place (the interned input
         // for round 1) — no per-round re-materialization.
         let (table, complex) = match complexes.last() {
