@@ -751,39 +751,80 @@ pub fn cor55() -> R {
 
 /// The solvability decision procedure (extension): exact one-round
 /// boundaries for the small zoo, agreeing with the paper's bounds from
-/// both sides.
+/// both sides. Each model's boundary comes from one incremental k-sweep
+/// (DESIGN.md §10.3) instead of per-(model, k) from-scratch decisions —
+/// this is where the pruned search's wall-clock win lands, so the
+/// timings start a fresh baseline series (see EXPERIMENTS.md).
 pub fn solv() -> R {
-    use ksa_core::solvability::{decide_one_round, Solvability};
+    use ksa_core::solvability::{decide_one_round_sweep, Solvability};
     let mut out = ExperimentOutcome::new("solv");
-    out.line("extension — exact one-round oblivious solvability (decision procedure)");
+    out.line("extension — exact one-round oblivious solvability (incremental k-sweep)");
     out.line(format!(
         "{:<18} {:>3} {:>12} {:>22}",
         "model", "k", "verdict", "paper prediction"
     ));
-    let cases: Vec<(&str, usize, bool, &str)> = vec![
-        ("stars{n=3,s=1}", 2, false, "Thm 5.4: impossible"),
-        ("stars{n=3,s=1}", 3, true, "Thm 3.4: solvable"),
-        ("stars{n=3,s=2}", 1, false, "Thm 6.13: impossible"),
-        ("stars{n=3,s=2}", 2, true, "Thm 3.4: solvable"),
-        ("ring{n=3,sym}", 1, false, "Thm 5.4: impossible"),
-        ("ring{n=3,sym}", 2, true, "Thm 3.4: solvable"),
-        ("ring{n=3}", 1, false, "Thm 5.1: impossible"),
-        ("ring{n=3}", 2, true, "Thm 3.2: solvable"),
+    // Per model: the k values the paper pins, each with the predicted
+    // verdict. The largest k bounds that model's sweep.
+    type Pins = Vec<(usize, bool, &'static str)>;
+    let cases: Vec<(&str, Pins)> = vec![
+        (
+            "stars{n=3,s=1}",
+            vec![
+                (2, false, "Thm 5.4: impossible"),
+                (3, true, "Thm 3.4: solvable"),
+            ],
+        ),
+        (
+            "stars{n=3,s=2}",
+            vec![
+                (1, false, "Thm 6.13: impossible"),
+                (2, true, "Thm 3.4: solvable"),
+            ],
+        ),
+        (
+            "ring{n=3,sym}",
+            vec![
+                (1, false, "Thm 5.4: impossible"),
+                (2, true, "Thm 3.4: solvable"),
+            ],
+        ),
+        (
+            "ring{n=3}",
+            vec![
+                (1, false, "Thm 5.1: impossible"),
+                (2, true, "Thm 3.2: solvable"),
+            ],
+        ),
     ];
-    for (name, k, expect_solvable, prediction) in cases {
+    let (mut searched, mut seeded, mut pruned) = (0usize, 0usize, 0usize);
+    for (name, pins) in cases {
         let model = registry_model(name)?;
-        let verdict = decide_one_round(&model, k, k, 2_000_000, 50_000_000)?;
-        let shown = match &verdict {
-            Solvability::Solvable(_) => "solvable",
-            Solvability::Unsolvable => "unsolvable",
-            Solvability::Unknown => "unknown",
-        };
-        out.line(format!("{name:<18} {k:>3} {shown:>12} {prediction:>22}"));
-        out.check(
-            &format!("{name} k={k}: matches the paper"),
-            verdict.is_solvable() == expect_solvable,
-        );
+        let k_max = pins.iter().map(|&(k, _, _)| k).max().unwrap_or(1);
+        let sweep = decide_one_round_sweep(&model, k_max, 2_000_000, 50_000_000)?;
+        searched += sweep.searched;
+        seeded += sweep.seeded;
+        pruned += sweep.pruned;
+        for (k, expect_solvable, prediction) in pins {
+            let verdict = &sweep.verdicts[k - 1];
+            let shown = match verdict {
+                Solvability::Solvable(_) => "solvable",
+                Solvability::Unsolvable => "unsolvable",
+                Solvability::Unknown => "unknown",
+            };
+            out.line(format!("{name:<18} {k:>3} {shown:>12} {prediction:>22}"));
+            out.check(
+                &format!("{name} k={k}: matches the paper"),
+                verdict.is_solvable() == expect_solvable,
+            );
+        }
     }
+    out.line(format!(
+        "sweep accounting: {searched} searched, {seeded} seeded by witness lift, {pruned} pruned by monotonicity"
+    ));
+    out.check(
+        "the sweeps decided some boundary entries monotonically",
+        seeded + pruned > 0,
+    );
     Ok(out)
 }
 
@@ -933,7 +974,22 @@ pub fn hunt(models: Option<&str>) -> R {
             Err(e) => {
                 out.line(format!("{name:<36} skipped ({e})"));
                 skipped.push(name.to_string());
+                continue;
             }
+        }
+        // Second hunt front (DESIGN.md §10.3): the *exact* one-round CSP
+        // k-sweep vs the certified round-1 lower bound. The certificate
+        // check in `best_lower_bound` is supposed to drop every formula
+        // overclaim; a Solvable CSP verdict at a certified-impossible k
+        // would be a counterexample to that scoping.
+        match hunt_csp_cross_check(name) {
+            Ok(line) => {
+                if let Some(conflict) = &line.conflict {
+                    violations.push(conflict.clone());
+                }
+                out.line(line.text);
+            }
+            Err(e) => out.line(format!("{name:<36} csp sweep skipped ({e})")),
         }
     }
     out.line(format!(
@@ -953,4 +1009,50 @@ pub fn hunt(models: Option<&str>) -> R {
         violations.is_empty(),
     );
     Ok(out)
+}
+
+/// One `hunt` CSP-vs-certified-bound row: the rendered table line plus
+/// the conflict description when the exact sweep refutes the bound.
+struct HuntCspLine {
+    text: String,
+    conflict: Option<String>,
+}
+
+/// Runs the incremental k-sweep (k ≤ 3, the whole n = 3 range) on one
+/// registry model and confronts it with `best_lower_bound(model, 1)`:
+/// a certified `impossible_k = k0` and a `Solvable` sweep verdict at
+/// `k0` cannot both hold — the CSP is exact on the pseudosphere
+/// `Ψ(Π, [0, k0])` the impossibility argues over.
+fn hunt_csp_cross_check(name: &str) -> Result<HuntCspLine, Box<dyn Error>> {
+    use ksa_core::bounds::lower::best_lower_bound;
+    use ksa_core::solvability::{decide_one_round_sweep, Solvability};
+    const K_MAX: usize = 3;
+    let model = registry_model(name)?;
+    let sweep = decide_one_round_sweep(&model, K_MAX, 2_000_000, 50_000_000)?;
+    let boundary = sweep
+        .verdicts
+        .iter()
+        .position(Solvability::is_solvable)
+        .map(|i| i + 1);
+    let certified = best_lower_bound(&model, 1)?.map(|b| b.impossible_k);
+    let conflict = match (certified, boundary) {
+        (Some(k0), Some(b)) if b <= k0 && k0 <= K_MAX => Some(format!(
+            "{name}: exact CSP solves k={b} but round-1 bound certifies k={k0} impossible"
+        )),
+        _ => None,
+    };
+    let text = format!(
+        "{name:<36} csp boundary k*={} certified impossible k={} ({} searched, {} seeded, {} pruned){}",
+        boundary.map_or("-".into(), |b| b.to_string()),
+        certified.map_or("-".into(), |k| k.to_string()),
+        sweep.searched,
+        sweep.seeded,
+        sweep.pruned,
+        if conflict.is_some() {
+            "  ← VIOLATION"
+        } else {
+            ""
+        }
+    );
+    Ok(HuntCspLine { text, conflict })
 }

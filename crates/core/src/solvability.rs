@@ -15,23 +15,44 @@
 //!
 //! The executions of a closed-above model factor exactly through the
 //! per-process superset choices (Lemma 4.8), so the search space is finite
-//! and complete. This module enumerates it and runs a
-//! most-constrained-first backtracking search with forward checking.
+//! and complete. This module enumerates it and decides the CSP with a
+//! **pruned search** built from three mutually-reinforcing reductions
+//! (DESIGN.md §10):
 //!
-//! With the `parallel` feature the CSP is decided by a **portfolio
-//! search** on the `ksa-exec` work-stealing pool: the canonical
-//! most-constrained-first ordering explores its branch tree with
-//! work-stealing parallel DFS at the full node budget, while alternate
-//! variable/value orderings race the same instance under restart-doubled
-//! budget slices; the first strategy to complete (either verdict) cancels
-//! the rest through an atomic flag. `Solvable`/`Unsolvable` verdicts are
-//! intrinsic to the instance, so decided verdicts are identical at any
-//! thread count (only the synthesized witness map may differ — any
-//! witness returned is valid; and at the node-budget boundary the
-//! portfolio may decide an instance where the lone canonical strategy
-//! would report `Unknown`); [`decide_one_round_seq`] is the
-//! always-available sequential reference. The up-front [`RunBudget`] guard makes oversized
-//! instances fail fast instead of enumerating unbounded superset spaces.
+//! * **Unit propagation** — domains are value bitmasks; each ≤-k-distinct
+//!   constraint runs generalized arc consistency to fixpoint (once an
+//!   execution has `k` forced values, every other view in it must repeat
+//!   one). The paper's hard refutations (the star-union kernels) collapse
+//!   at the root under propagation alone.
+//! * **Orbit symmetry breaking** — the instance inherits a symmetry group
+//!   from the model: process permutations stabilizing the generator set
+//!   ([`ksa_graphs::perm::stabilizing_permutations`]) × permutations of
+//!   the value set. Partial assignments are keyed by the lex-least image
+//!   of their decision set under the group; sibling branches with equal
+//!   canonical keys are orbit duplicates and explored once.
+//! * **A monotone no-good table** — refuted canonical decision sets are
+//!   published to a shared [`NoGoodTable`] (lock-sharded under
+//!   `parallel`). Every entry is a fact about the *instance* ("no
+//!   solution extends this orbit"), never about one strategy's schedule,
+//!   so lookups only skip work and can never flip a verdict: determinism
+//!   at any `KSA_THREADS` holds by construction.
+//!
+//! With the `parallel` feature, strategy variants (value-iteration
+//! direction, tie-breaking rule) race on the `ksa-exec` work-stealing
+//! pool sharing one table; the first to complete cancels the rest.
+//! Verdicts are intrinsic to the instance, hence identical at any thread
+//! count (only the synthesized witness map may differ — any witness
+//! returned is valid). [`decide_one_round_seq`] keeps the historical
+//! forward-checking search, untouched, as the differential-test oracle.
+//! The up-front [`RunBudget`] guard makes oversized instances fail fast
+//! instead of enumerating unbounded superset spaces.
+//!
+//! Across `k`, verdicts are **monotone**: a witness for `k` (values
+//! `{0..k}`) lifts to a witness for `k+1` (values `{0..k+1}`), and an
+//! impossibility at `k` implies impossibility at `k−1`.
+//! [`decide_one_round_sweep`] exploits both directions, binary-searching
+//! the solvability boundary instead of deciding every `(model, k)` pair
+//! from scratch.
 //!
 //! `Unsolvable` verdicts over the value range `{0, …, k}` imply general
 //! unsolvability (an adversary can always restrict inputs), making this an
@@ -43,10 +64,11 @@ use crate::error::CoreError;
 use crate::task::Value;
 #[cfg(feature = "parallel")]
 use ksa_exec::prelude::*;
+use ksa_graphs::Digraph;
 use ksa_models::ClosedAboveModel;
 use ksa_models::ObliviousModel;
 use ksa_topology::interpretation::FlatView;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// How many input assignments each parallel batch spans. Batches are
 /// enumerated in odometer order and merged in order, so the view/exec
@@ -55,8 +77,9 @@ use std::collections::HashMap;
 const INPUT_BATCH: usize = 512;
 
 /// Iterator over all input assignments of `n` processes over
-/// `{0, …, values − 1}`, in odometer order (process 0 fastest).
-fn input_assignments(n: usize, values: Value) -> impl Iterator<Item = Vec<Value>> {
+/// `{0, …, values − 1}`, in odometer order (process 0 fastest). Shared
+/// with [`crate::verify::verify_decision_map`]'s replay.
+pub(crate) fn input_assignments(n: usize, values: Value) -> impl Iterator<Item = Vec<Value>> {
     let mut next: Option<Vec<Value>> = Some(vec![0 as Value; n]);
     std::iter::from_fn(move || {
         let current = next.take()?;
@@ -370,13 +393,14 @@ fn validate_k(k: usize) -> Result<(), CoreError> {
 /// backtracking nodes per search strategy (exceeding it returns
 /// [`Solvability::Unknown`]).
 ///
-/// With the `parallel` feature the CSP runs as a racing portfolio on the
-/// work-stealing pool (see the module docs). Decided verdicts
+/// The CSP runs the pruned search (propagation, orbit symmetry breaking
+/// and a no-good table; with `parallel`, racing strategy variants on the
+/// work-stealing pool — see the module docs). Decided verdicts
 /// (`Solvable`/`Unsolvable`) are intrinsic to the instance and therefore
 /// identical to [`decide_one_round_seq`] at any thread count; at the
-/// `node_budget` boundary, however, the portfolio may decide an instance
-/// the sequential scan gives up on (it returns a verdict where the
-/// reference returns [`Solvability::Unknown`] — never a *different*
+/// `node_budget` boundary, however, the pruned search may decide an
+/// instance the sequential scan gives up on (it returns a verdict where
+/// the reference returns [`Solvability::Unknown`] — never a *different*
 /// decided verdict).
 ///
 /// # Errors
@@ -403,7 +427,14 @@ pub fn decide_one_round(
     let merger = merge_all(n, values, exec_limit, |inputs: &[Value]| {
         one_round_enumerate_input(model, n, inputs)
     })?;
-    solve_csp(merger.views, merger.executions, k, node_budget)
+    solve_csp(
+        model.generators(),
+        values,
+        merger.views,
+        merger.executions,
+        k,
+        node_budget,
+    )
 }
 
 /// The sequential reference implementation of [`decide_one_round`]:
@@ -697,7 +728,17 @@ pub fn decide_rounds_explicit(
     // merger's limit only needs to catch the distinct-execution
     // overflow, like the sequential scan (which never errored here).
     let merger = merge_all(n, values, exec_limit, enumerate_input)?;
-    solve_csp(merger.views, merger.executions, k, node_budget)
+    // The instance's process symmetries are the permutations stabilizing
+    // the (deduplicated) set of r-round products — executions are
+    // per-product, so any such relabeling maps executions to executions.
+    solve_csp(
+        &products,
+        values,
+        merger.views,
+        merger.executions,
+        k,
+        node_budget,
+    )
 }
 
 // --- The CSP core ----------------------------------------------------------
@@ -755,26 +796,14 @@ impl CspInstance {
         order
     }
 
-    /// Most-watched views first (maximum constraint degree), candidate
-    /// count on ties — fails fast on models whose conflicts concentrate
-    /// in a few executions.
-    #[cfg(feature = "parallel")]
-    fn order_max_degree(&self) -> Vec<usize> {
-        let mut order: Vec<usize> = (0..self.views.len()).collect();
-        order.sort_by_key(|&v| {
-            (
-                std::cmp::Reverse(self.exec_of_view[v].len()),
-                self.candidates[v].len(),
-            )
-        });
-        order
-    }
-
-    /// Enumeration (view-id) order — the cheap "no heuristic" control
-    /// that occasionally wins on near-symmetric instances.
-    #[cfg(feature = "parallel")]
-    fn order_natural(&self) -> Vec<usize> {
-        (0..self.views.len()).collect()
+    /// Initial bitmask domains (bit `v` set ⇔ value `v` is a candidate).
+    /// Only valid when every value fits a `u32` mask (`values ≤ 32`),
+    /// which the pruned-search entry points guard.
+    fn masks(&self) -> Vec<u32> {
+        self.candidates
+            .iter()
+            .map(|vals| vals.iter().fold(0u32, |m, &v| m | (1 << v)))
+            .collect()
     }
 
     /// Packages a complete assignment as the `Solvable` witness.
@@ -832,9 +861,16 @@ fn view_consistent(csp: &CspInstance, v: usize, assignment: &[Option<Value>]) ->
     })
 }
 
-/// Dispatches between the portfolio search (`parallel`) and the
-/// sequential reference.
+/// Decides a solvability CSP with the pruned search (propagation + orbit
+/// symmetry breaking + no-good table), racing strategy variants on the
+/// pool under `parallel`. `sym_graphs` is the graph set whose stabilizer
+/// is the instance's process-symmetry group (the model generators for
+/// one round, the deduplicated schedule products for explicit rounds).
+/// Falls back to the sequential forward-checking reference when the
+/// value range exceeds the bitmask-domain width.
 fn solve_csp(
+    sym_graphs: &[Digraph],
+    values: Value,
     views: Vec<FlatView<Value>>,
     executions: Vec<Vec<u32>>,
     k: usize,
@@ -842,14 +878,63 @@ fn solve_csp(
 ) -> Result<Solvability, CoreError> {
     let instance = CspInstance::new(views, executions, k);
     let _span = ksa_obs::span("core", || "csp_decide").arg("views", instance.views.len() as u64);
+    if values > MAX_MASK_VALUES {
+        return solve_csp_seq(instance, node_budget);
+    }
+    let sym = CspSymmetry::detect(sym_graphs, &instance.views, values);
+    record_pruned_entry(&instance, &sym);
+    let table = NoGoodTable::new();
     #[cfg(feature = "parallel")]
     {
-        solve_csp_portfolio(instance, node_budget)
+        Ok(solve_csp_pruned_portfolio(
+            instance,
+            &sym,
+            &table,
+            node_budget,
+        ))
     }
     #[cfg(not(feature = "parallel"))]
     {
-        solve_csp_seq(instance, node_budget)
+        let (outcome, stats) = run_pruned_strategy(
+            &instance,
+            &sym,
+            &table,
+            None,
+            PrunedKnobs::CANONICAL,
+            node_budget,
+        );
+        flush_pruned_perf(&stats);
+        Ok(finish_pruned(instance, outcome))
     }
+}
+
+/// Deterministic observability for one pruned-search entry: the verdict
+/// tick, the symmetry-group order, and the (pre-race, scheduling-free)
+/// count of orbit-duplicate branches at the root. Emitted once per
+/// decided instance regardless of thread count, so the deterministic
+/// counter stream is bit-identical at any `KSA_THREADS`.
+fn record_pruned_entry(csp: &CspInstance, sym: &CspSymmetry) {
+    ksa_obs::count(ksa_obs::Counter::CspVerdicts, 1);
+    ksa_obs::count(ksa_obs::Counter::CspSymmetries, sym.order() as u64);
+    let mut doms = csp.masks();
+    let root_prunes = if propagate(csp, &mut doms) {
+        match pick_var(csp, &doms, false) {
+            Some(v) => {
+                let mut seen: HashSet<NoGoodKey> = HashSet::new();
+                let mut dups = 0u64;
+                for val in mask_values(doms[v], false) {
+                    if !seen.insert(sym.canonical_signature(&[(v as u32, val)])) {
+                        dups += 1;
+                    }
+                }
+                dups
+            }
+            None => 0,
+        }
+    } else {
+        0
+    };
+    ksa_obs::count(ksa_obs::Counter::CspOrbitRootPrunes, root_prunes);
 }
 
 /// The sequential most-constrained-first backtracking search (the
@@ -908,344 +993,948 @@ fn solve_csp_seq(instance: CspInstance, node_budget: usize) -> Result<Solvabilit
     }
 }
 
-// --- The portfolio search (parallel) ---------------------------------------
+// --- The pruned search: propagation + orbits + no-goods --------------------
 
-/// Outcome of one (sub)tree exploration in the portfolio search.
-#[cfg(feature = "parallel")]
-enum Branch {
-    /// A complete consistent assignment (the decision-map witness).
-    Solved(Vec<Option<Value>>),
-    /// The subtree holds no solution.
+/// Widest value range the bitmask-domain search handles; beyond it the
+/// sequential forward-checking reference decides the instance.
+const MAX_MASK_VALUES: Value = 32;
+
+/// Largest symmetry-group order worth enumerating per canonical-key
+/// computation: past this, canonicalization costs more than the pruning
+/// it buys, so detection falls back to a subgroup (or the trivial group).
+const SYM_ORDER_CAP: usize = 1024;
+
+/// Canonical signature of a partial decision set: the lex-least image of
+/// the sorted `(view, value)` pairs under the instance's symmetry group.
+/// Strategy-independent — the no-good table keys entries by it.
+pub type NoGoodKey = Box<[(u32, Value)]>;
+
+/// One non-identity symmetry of a CSP instance: a relabeling of view ids
+/// together with the value relabeling that induced it.
+struct SymElem {
+    view_map: Vec<u32>,
+    value_map: Vec<Value>,
+}
+
+/// The symmetry group of a solvability CSP: process permutations
+/// stabilizing the generating graph set × permutations of the value set
+/// (inputs range over *all* assignments, so every value relabeling is a
+/// symmetry). Soundness of orbit pruning needs a genuine group — closed
+/// under inverse and composition — which each fallback below preserves:
+/// the full direct product, either factor alone, or the trivial group.
+struct CspSymmetry {
+    /// Non-identity elements; the identity is implicit.
+    elems: Vec<SymElem>,
+}
+
+impl CspSymmetry {
+    /// Group order (including the identity).
+    fn order(&self) -> usize {
+        self.elems.len() + 1
+    }
+
+    fn trivial() -> CspSymmetry {
+        CspSymmetry { elems: Vec::new() }
+    }
+
+    /// Detects the instance symmetries. `sym_graphs` generates the
+    /// process-permutation factor (its stabilizer in `S_n`); the value
+    /// factor is all of `S_values`. Conservative: any anomaly (a view
+    /// image outside the reachable set, an over-cap group) degrades to a
+    /// smaller subgroup rather than a non-group subset.
+    fn detect(sym_graphs: &[Digraph], views: &[FlatView<Value>], values: Value) -> CspSymmetry {
+        use ksa_graphs::perm::{all_permutations, stabilizing_permutations, Permutation};
+        let Some(first) = sym_graphs.first() else {
+            return CspSymmetry::trivial();
+        };
+        let n = first.n();
+        let Ok(proc_perms) = stabilizing_permutations(sym_graphs) else {
+            return CspSymmetry::trivial();
+        };
+        let value_count = values as usize;
+        let vperm_order: usize = (1..=value_count).product();
+        // The direct product when it fits, else the bigger factor that
+        // does, else nothing. Each choice is a subgroup.
+        let full = proc_perms.len().saturating_mul(vperm_order);
+        let (use_procs, use_values) = if full <= SYM_ORDER_CAP {
+            (true, true)
+        } else if proc_perms.len() >= vperm_order && proc_perms.len() <= SYM_ORDER_CAP {
+            (true, false)
+        } else if vperm_order <= SYM_ORDER_CAP {
+            (false, true)
+        } else if proc_perms.len() <= SYM_ORDER_CAP {
+            (true, false)
+        } else {
+            return CspSymmetry::trivial();
+        };
+        let proc_perms = if use_procs {
+            proc_perms
+        } else {
+            vec![Permutation::identity(n)]
+        };
+        let value_maps: Vec<Vec<Value>> = if use_values {
+            all_permutations(value_count)
+                .map(|p| (0..value_count).map(|v| p.apply(v) as Value).collect())
+                .collect()
+        } else {
+            vec![(0..values).collect()]
+        };
+        let view_ids: HashMap<&FlatView<Value>, u32> = views
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v, i as u32))
+            .collect();
+        let mut elems = Vec::new();
+        for pi in &proc_perms {
+            let pi_identity = *pi == Permutation::identity(n);
+            for vm in &value_maps {
+                if pi_identity && vm.iter().enumerate().all(|(i, &v)| v as usize == i) {
+                    continue;
+                }
+                let mut view_map = vec![0u32; views.len()];
+                for (i, view) in views.iter().enumerate() {
+                    let mut image: FlatView<Value> = view
+                        .iter()
+                        .map(|&(p, val)| (pi.apply(p), vm[val as usize]))
+                        .collect();
+                    image.sort_unstable();
+                    match view_ids.get(&image) {
+                        Some(&id) => view_map[i] = id,
+                        None => {
+                            // A genuine symmetry maps reachable views to
+                            // reachable views; an unmapped image means
+                            // `sym_graphs` over-approximates the instance.
+                            // Dropping single elements would break the
+                            // group property, so drop the whole group.
+                            debug_assert!(false, "stabilizer element is not an instance symmetry");
+                            return CspSymmetry::trivial();
+                        }
+                    }
+                }
+                elems.push(SymElem {
+                    view_map,
+                    value_map: vm.clone(),
+                });
+            }
+        }
+        CspSymmetry { elems }
+    }
+
+    /// The lex-least image of `decisions` (as a sorted set) under the
+    /// group — equal keys ⇔ orbit-equivalent decision sets.
+    fn canonical_signature(&self, decisions: &[(u32, Value)]) -> NoGoodKey {
+        let mut best: Vec<(u32, Value)> = decisions.to_vec();
+        best.sort_unstable();
+        let mut buf: Vec<(u32, Value)> = Vec::with_capacity(decisions.len());
+        for e in &self.elems {
+            buf.clear();
+            buf.extend(
+                decisions
+                    .iter()
+                    .map(|&(v, val)| (e.view_map[v as usize], e.value_map[val as usize])),
+            );
+            buf.sort_unstable();
+            if buf < best {
+                std::mem::swap(&mut best, &mut buf);
+            }
+        }
+        best.into_boxed_slice()
+    }
+}
+
+/// A shared table of refuted canonical decision sets — a **monotone
+/// pruning oracle** (see `ksa_exec::ShardedSet` for the contract).
+///
+/// Entries are published only for subtrees the search *proved* empty
+/// (exhausted or propagation-refuted) — never for subtrees abandoned to
+/// the node budget or a cancellation — and keyed by strategy-independent
+/// canonical signatures. A hit therefore only skips work whose outcome
+/// is already decided; verdicts are unaffected by construction, at any
+/// thread count and under any seeding. Seeding entries that are not
+/// genuine no-goods of the *same* instance is safe exactly when they can
+/// never match a probed signature (e.g. out-of-range view ids); seeding
+/// a false matching entry would violate the contract.
+///
+/// Lock-sharded under the `parallel` feature so racing strategies share
+/// one table; a plain mutex-guarded set otherwise.
+pub struct NoGoodTable {
+    #[cfg(feature = "parallel")]
+    inner: ksa_exec::ShardedSet<NoGoodKey>,
+    #[cfg(not(feature = "parallel"))]
+    inner: std::sync::Mutex<HashSet<NoGoodKey>>,
+}
+
+impl NoGoodTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        NoGoodTable {
+            #[cfg(feature = "parallel")]
+            inner: ksa_exec::ShardedSet::new(),
+            #[cfg(not(feature = "parallel"))]
+            inner: std::sync::Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// Number of published no-goods.
+    pub fn len(&self) -> usize {
+        #[cfg(feature = "parallel")]
+        {
+            self.inner.len()
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            self.inner.lock().expect("table poisoned").len()
+        }
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Publishes an externally-supplied entry (normalized to sorted
+    /// order). Intended for re-seeding a table from [`Self::snapshot`] of
+    /// an earlier search of the **same** instance; see the type docs for
+    /// what seeding may never do.
+    pub fn seed(&self, entry: &[(u32, Value)]) {
+        let mut key: Vec<(u32, Value)> = entry.to_vec();
+        key.sort_unstable();
+        self.insert(key.into_boxed_slice());
+    }
+
+    /// All published entries, in unspecified order — for harvesting a
+    /// finished search's facts to [`Self::seed`] a later one.
+    pub fn snapshot(&self) -> Vec<NoGoodKey> {
+        #[cfg(feature = "parallel")]
+        {
+            self.inner.snapshot()
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            self.inner
+                .lock()
+                .expect("table poisoned")
+                .iter()
+                .cloned()
+                .collect()
+        }
+    }
+
+    fn contains(&self, key: &NoGoodKey) -> bool {
+        #[cfg(feature = "parallel")]
+        {
+            self.inner.contains(key)
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            self.inner.lock().expect("table poisoned").contains(key)
+        }
+    }
+
+    fn insert(&self, key: NoGoodKey) -> bool {
+        #[cfg(feature = "parallel")]
+        {
+            self.inner.insert(key)
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            self.inner.lock().expect("table poisoned").insert(key)
+        }
+    }
+}
+
+impl Default for NoGoodTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for NoGoodTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NoGoodTable")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Work accounting of one pruned-search strategy. `nodes` is the hard
+/// determinism anchor of the differential tests: with an empty table and
+/// one strategy it is a pure function of the instance; with a seeded or
+/// shared table it can only shrink, never grow.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Decision nodes expanded.
+    pub nodes: u64,
+    /// Branches skipped because their canonical signature was already
+    /// published as a no-good.
+    pub nogood_hits: u64,
+    /// No-goods this strategy published first.
+    pub nogood_inserts: u64,
+    /// Sibling branches skipped as orbit duplicates of an explored one.
+    pub orbit_prunes: u64,
+    /// Order of the detected symmetry group (1 = no symmetry used).
+    pub symmetry_order: u64,
+}
+
+/// Strategy knobs of the pruned search. All variants share the table;
+/// verdicts are knob-independent.
+#[derive(Debug, Clone, Copy)]
+struct PrunedKnobs {
+    /// Iterate candidate values high-to-low instead of low-to-high.
+    value_reverse: bool,
+    /// Break MRV ties by constraint degree (most-watched view first)
+    /// instead of lowest view id.
+    tie_degree: bool,
+}
+
+impl PrunedKnobs {
+    /// The canonical (deterministic-reference) variant.
+    const CANONICAL: PrunedKnobs = PrunedKnobs {
+        value_reverse: false,
+        tie_degree: false,
+    };
+}
+
+/// Outcome of one pruned-search strategy.
+enum PrunedOutcome {
+    /// All domains singleton — `doms` encodes the witness.
+    Solved(Vec<u32>),
+    /// The (sub)tree holds no solution.
     Exhausted,
-    /// The strategy's node budget ran out first.
+    /// Node budget ran out first.
     OutOfBudget,
-    /// Another strategy (or a sibling's success) cancelled this search.
+    /// Another strategy completed first.
     Cancelled,
 }
 
-/// Per-strategy search context: the instance, this strategy's orderings,
-/// the cancellation plumbing and its node budget.
-#[cfg(feature = "parallel")]
-struct StratCtx<'a> {
-    csp: &'a CspInstance,
-    order: &'a [usize],
-    reverse_values: bool,
-    /// Depths below this explore candidate values as parallel subtree
-    /// tasks (work-stealing DFS); deeper levels run sequentially.
-    split_depth: usize,
-    /// Portfolio-wide first-success/first-verdict cancellation.
-    cancel: &'a std::sync::atomic::AtomicBool,
-    /// This strategy found a solution — prunes its sibling subtrees.
-    found: &'a std::sync::atomic::AtomicBool,
-    /// Shared node counter (flushed in batches from task-local counts).
-    nodes: &'a std::sync::atomic::AtomicUsize,
-    budget: usize,
+/// The candidate values of a domain mask in strategy order.
+fn mask_values(mask: u32, reverse: bool) -> impl Iterator<Item = Value> {
+    let mut vals: Vec<Value> = (0..32).filter(|&b| mask >> b & 1 == 1).collect();
+    if reverse {
+        vals.reverse();
+    }
+    vals.into_iter()
 }
 
-#[cfg(feature = "parallel")]
-impl StratCtx<'_> {
-    fn cancelled(&self) -> bool {
-        use std::sync::atomic::Ordering;
-        self.cancel.load(Ordering::Relaxed) || self.found.load(Ordering::Relaxed)
-    }
-
-    /// Counts one node; returns `true` when the strategy is over budget.
-    /// Task-local counts flush to the shared counter in batches, so the
-    /// budget is enforced within ±(tasks × 1024) nodes of the limit —
-    /// callers near that boundary should expect `Unknown` verdicts to be
-    /// scheduling-dependent (the `Solvable`/`Unsolvable` verdicts never
-    /// are).
-    fn tick(&self, local: &mut usize) -> bool {
-        use std::sync::atomic::Ordering;
-        *local += 1;
-        if *local >= 1024 {
-            self.nodes.fetch_add(*local, Ordering::Relaxed);
-            ksa_obs::perf_count(ksa_obs::PerfCounter::PortfolioNodes, *local as u64);
-            *local = 0;
-        }
-        self.nodes.load(Ordering::Relaxed) + *local > self.budget
-    }
-
-    /// The `i`-th candidate value of view `v` in this strategy's
-    /// iteration direction (allocation-free: called once per node).
-    fn value_at(&self, v: usize, i: usize) -> Value {
-        let vals = &self.csp.candidates[v];
-        if self.reverse_values {
-            vals[vals.len() - 1 - i]
-        } else {
-            vals[i]
-        }
-    }
-}
-
-/// Work-stealing DFS over the branch tree of one strategy: shallow
-/// depths fan candidate values out as stealable subtree tasks, deeper
-/// levels backtrack sequentially with undo.
-#[cfg(feature = "parallel")]
-fn pdfs(
-    ctx: &StratCtx<'_>,
-    depth: usize,
-    assignment: &mut Vec<Option<Value>>,
-    local: &mut usize,
-) -> Branch {
-    use std::sync::atomic::Ordering;
-    if ctx.cancelled() {
-        return Branch::Cancelled;
-    }
-    if depth == ctx.order.len() {
-        // Prune sibling subtrees of this strategy immediately.
-        ctx.found.store(true, Ordering::Relaxed);
-        return Branch::Solved(assignment.clone());
-    }
-    if ctx.tick(local) {
-        return Branch::OutOfBudget;
-    }
-    let v = ctx.order[depth];
-    let arity = ctx.csp.candidates[v].len();
-
-    if depth < ctx.split_depth && arity > 1 {
-        // Fork: one independent assignment snapshot per viable value.
-        let mut branches: Vec<Vec<Option<Value>>> = Vec::with_capacity(arity);
-        for i in 0..arity {
-            assignment[v] = Some(ctx.value_at(v, i));
-            if view_consistent(ctx.csp, v, assignment) {
-                branches.push(assignment.clone());
+/// Generalized arc consistency on the ≤-k-distinct constraints, to
+/// fixpoint: per execution, the union of singleton domains is the forced
+/// value set; more than `k` forced values is a wipeout, exactly `k`
+/// restricts every undecided view of the execution to repeat a forced
+/// value. Returns `false` on wipeout. Order-independent (the GAC
+/// fixpoint is unique), so the propagated state is a function of the
+/// decision *set* — which is what makes orbit keys sound.
+fn propagate(csp: &CspInstance, doms: &mut [u32]) -> bool {
+    loop {
+        let mut changed = false;
+        for e in &csp.executions {
+            let mut forced: u32 = 0;
+            let mut forced_count = 0usize;
+            for &v in e {
+                let d = doms[v as usize];
+                if d == 0 {
+                    return false;
+                }
+                if d & (d - 1) == 0 && forced & d == 0 {
+                    forced_count += 1;
+                    forced |= d;
+                }
             }
-            assignment[v] = None;
-        }
-        return par_branches(ctx, depth, branches);
-    }
-
-    for i in 0..arity {
-        assignment[v] = Some(ctx.value_at(v, i));
-        if view_consistent(ctx.csp, v, assignment) {
-            match pdfs(ctx, depth + 1, assignment, local) {
-                Branch::Exhausted => {}
-                done => {
-                    assignment[v] = None;
-                    return done;
+            if forced_count > csp.k {
+                return false;
+            }
+            if forced_count == csp.k {
+                for &v in e {
+                    let d = doms[v as usize];
+                    if d & (d - 1) != 0 {
+                        let nd = d & forced;
+                        if nd == 0 {
+                            return false;
+                        }
+                        if nd != d {
+                            doms[v as usize] = nd;
+                            changed = true;
+                        }
+                    }
                 }
             }
         }
-        assignment[v] = None;
+        if !changed {
+            return true;
+        }
     }
-    Branch::Exhausted
 }
 
-/// Explores the viable value-branches of one split node, recursively
-/// halving them across `ksa_exec::join` so idle workers steal the
-/// larger half.
-#[cfg(feature = "parallel")]
-fn par_branches(ctx: &StratCtx<'_>, depth: usize, mut branches: Vec<Vec<Option<Value>>>) -> Branch {
-    use std::sync::atomic::Ordering;
-    match branches.len() {
-        0 => Branch::Exhausted,
-        1 => {
-            let mut assignment = branches.pop().expect("one branch");
-            let mut local = 0usize;
-            let out = pdfs(ctx, depth + 1, &mut assignment, &mut local);
-            ctx.nodes.fetch_add(local, Ordering::Relaxed);
-            ksa_obs::perf_count(ksa_obs::PerfCounter::PortfolioNodes, local as u64);
-            out
+/// The MRV branch variable: smallest non-singleton domain, ties broken
+/// per the strategy (lowest id, or highest constraint degree then lowest
+/// id). `None` means every domain is singleton — solved.
+fn pick_var(csp: &CspInstance, doms: &[u32], tie_degree: bool) -> Option<usize> {
+    let mut best: Option<(u32, usize, usize)> = None;
+    for (v, &d) in doms.iter().enumerate() {
+        let c = d.count_ones();
+        if c < 2 {
+            continue;
         }
-        _ => {
-            let right = branches.split_off(branches.len() / 2);
-            let (left_out, right_out) = ksa_exec::join(
-                || par_branches(ctx, depth, branches),
-                || par_branches(ctx, depth, right),
-            );
-            // Any Solved wins (all verdicts agree on solvability, so
-            // preferring the left one only stabilizes the witness);
-            // OutOfBudget taints the subtree, Cancelled propagates.
-            match (left_out, right_out) {
-                (Branch::Solved(s), _) | (_, Branch::Solved(s)) => Branch::Solved(s),
-                (Branch::OutOfBudget, _) | (_, Branch::OutOfBudget) => Branch::OutOfBudget,
-                (Branch::Cancelled, _) | (_, Branch::Cancelled) => Branch::Cancelled,
-                (Branch::Exhausted, Branch::Exhausted) => Branch::Exhausted,
+        let tie = if tie_degree {
+            usize::MAX - csp.exec_of_view[v].len()
+        } else {
+            0
+        };
+        let key = (c, tie, v);
+        if best.is_none_or(|b| key < b) {
+            best = Some(key);
+        }
+    }
+    best.map(|(_, _, v)| v)
+}
+
+/// Whether a fully-singleton domain vector satisfies every execution —
+/// guaranteed by the last successful propagation; kept as a debug check.
+fn complete_assignment_ok(csp: &CspInstance, doms: &[u32]) -> bool {
+    doms.iter().all(|d| d.count_ones() == 1)
+        && csp.executions.iter().all(|e| {
+            let mut seen = 0u32;
+            for &v in e {
+                seen |= doms[v as usize];
             }
+            seen.count_ones() as usize <= csp.k
+        })
+}
+
+/// Per-strategy context of the pruned search.
+struct PrunedCtx<'a> {
+    csp: &'a CspInstance,
+    sym: &'a CspSymmetry,
+    table: &'a NoGoodTable,
+    cancel: Option<&'a std::sync::atomic::AtomicBool>,
+    knobs: PrunedKnobs,
+    budget: u64,
+}
+
+/// Propagating DFS with orbit and no-good pruning. `doms` is the
+/// propagated state reached by `decisions`; each candidate branch is
+/// keyed by the canonical signature of its extended decision set, probed
+/// against sibling orbits and the shared table, and — once *proved*
+/// empty (propagation wipeout or exhausted recursion) — published.
+/// Subtrees abandoned to the budget or a cancellation are never
+/// published, which is the monotonicity half of the table contract.
+fn pruned_dfs(
+    ctx: &PrunedCtx<'_>,
+    doms: &[u32],
+    decisions: &mut Vec<(u32, Value)>,
+    stats: &mut SearchStats,
+) -> PrunedOutcome {
+    if let Some(c) = ctx.cancel {
+        if c.load(std::sync::atomic::Ordering::Relaxed) {
+            return PrunedOutcome::Cancelled;
         }
+    }
+    let Some(v) = pick_var(ctx.csp, doms, ctx.knobs.tie_degree) else {
+        debug_assert!(complete_assignment_ok(ctx.csp, doms));
+        return PrunedOutcome::Solved(doms.to_vec());
+    };
+    stats.nodes += 1;
+    if stats.nodes > ctx.budget {
+        return PrunedOutcome::OutOfBudget;
+    }
+    // Every signature in here is a *proved* dead branch (wipeout,
+    // exhausted recursion, or an earlier table hit), so any later
+    // sibling in the same orbit is dead too.
+    let mut dead_sigs: Vec<NoGoodKey> = Vec::new();
+    for val in mask_values(doms[v], ctx.knobs.value_reverse) {
+        decisions.push((v as u32, val));
+        let sig = ctx.sym.canonical_signature(decisions);
+        decisions.pop();
+        if dead_sigs.contains(&sig) {
+            stats.orbit_prunes += 1;
+            continue;
+        }
+        if ctx.table.contains(&sig) {
+            stats.nogood_hits += 1;
+            dead_sigs.push(sig);
+            continue;
+        }
+        let mut child = doms.to_vec();
+        child[v] = 1u32 << val;
+        if propagate(ctx.csp, &mut child) {
+            decisions.push((v as u32, val));
+            let out = pruned_dfs(ctx, &child, decisions, stats);
+            decisions.pop();
+            match out {
+                PrunedOutcome::Exhausted => {
+                    if ctx.table.insert(sig.clone()) {
+                        stats.nogood_inserts += 1;
+                    }
+                    dead_sigs.push(sig);
+                }
+                other => return other,
+            }
+        } else {
+            if ctx.table.insert(sig.clone()) {
+                stats.nogood_inserts += 1;
+            }
+            dead_sigs.push(sig);
+        }
+    }
+    PrunedOutcome::Exhausted
+}
+
+/// Runs one strategy of the pruned search from the root.
+fn run_pruned_strategy(
+    csp: &CspInstance,
+    sym: &CspSymmetry,
+    table: &NoGoodTable,
+    cancel: Option<&std::sync::atomic::AtomicBool>,
+    knobs: PrunedKnobs,
+    node_budget: usize,
+) -> (PrunedOutcome, SearchStats) {
+    let mut stats = SearchStats {
+        symmetry_order: sym.order() as u64,
+        ..SearchStats::default()
+    };
+    let mut doms = csp.masks();
+    if !propagate(csp, &mut doms) {
+        return (PrunedOutcome::Exhausted, stats);
+    }
+    let ctx = PrunedCtx {
+        csp,
+        sym,
+        table,
+        cancel,
+        knobs,
+        budget: node_budget as u64,
+    };
+    let mut decisions = Vec::new();
+    let out = pruned_dfs(&ctx, &doms, &mut decisions, &mut stats);
+    (out, stats)
+}
+
+/// Flushes one strategy's work counters to the perf (scheduling-
+/// dependent) observability tier.
+fn flush_pruned_perf(stats: &SearchStats) {
+    ksa_obs::perf_count(ksa_obs::PerfCounter::PortfolioNodes, stats.nodes);
+    ksa_obs::perf_count(ksa_obs::PerfCounter::NoGoodHits, stats.nogood_hits);
+    ksa_obs::perf_count(ksa_obs::PerfCounter::NoGoodInserts, stats.nogood_inserts);
+}
+
+/// Maps a strategy outcome to the public verdict, synthesizing the
+/// witness map from singleton domains.
+fn finish_pruned(instance: CspInstance, outcome: PrunedOutcome) -> Solvability {
+    match outcome {
+        PrunedOutcome::Solved(doms) => {
+            let assignment: Vec<Option<Value>> = doms
+                .iter()
+                .map(|&d| Some(d.trailing_zeros() as Value))
+                .collect();
+            instance.into_solvable(assignment)
+        }
+        PrunedOutcome::Exhausted => Solvability::Unsolvable,
+        PrunedOutcome::OutOfBudget | PrunedOutcome::Cancelled => Solvability::Unknown,
     }
 }
 
-/// A portfolio member: a variable ordering plus a value-iteration
-/// direction.
-#[cfg(feature = "parallel")]
-struct Strategy {
-    order: Vec<usize>,
-    reverse_values: bool,
-}
-
-/// The racing portfolio search.
+/// Races the strategy variants of the pruned search on the pool, all
+/// sharing one no-good table; the first to complete (either verdict)
+/// cancels the rest. Spawn order puts the canonical variant last: the
+/// scope's worker pops its deque LIFO, so a lone worker runs canonical
+/// first and only then the alternates (which immediately observe the
+/// cancellation), while idle workers steal the alternates FIFO.
 ///
-/// The **canonical** strategy (most-constrained-first — the sequential
-/// reference ordering) explores its branch tree with work-stealing
-/// parallel DFS at the full node budget. The **alternate** orderings
-/// race the same instance as cheap sequential probes under
-/// restart-doubled budget slices — if one of them gets lucky it wins
-/// outright; if not, it exhausts its slice quickly and its worker goes
-/// back to stealing canonical subtrees. The first strategy to complete
-/// sets the cancellation flag; everyone else stops at their next node.
-///
-/// `Solvable`/`Unsolvable` are intrinsic to the instance, so whichever
-/// strategy finishes first yields the same verdict — bit-identical at
-/// any thread count. `Unknown` means the canonical strategy ran out of
-/// its full `node_budget` with no alternate finishing either.
+/// Verdicts are intrinsic to the instance — identical at any thread
+/// count. At the node-budget boundary a strategy helped by the shared
+/// table may decide an instance the lone canonical variant would give up
+/// on; that can only upgrade `Unknown` to a decided verdict, never flip
+/// a decided one.
 #[cfg(feature = "parallel")]
-fn solve_csp_portfolio(
+fn solve_csp_pruned_portfolio(
     instance: CspInstance,
+    sym: &CspSymmetry,
+    table: &NoGoodTable,
     node_budget: usize,
-) -> Result<Solvability, CoreError> {
-    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+) -> Solvability {
+    use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Mutex;
 
-    ksa_obs::count(ksa_obs::Counter::CspVerdicts, 1);
-    let threads = ksa_exec::current_num_threads();
-    let split_depth = if threads <= 1 {
-        // One worker: skip forking entirely — node accounting then
-        // matches the sequential reference exactly.
-        0
-    } else {
-        (usize::BITS - threads.leading_zeros()) as usize + 2
-    };
-
-    let canonical = Strategy {
-        order: instance.order_most_constrained(),
-        reverse_values: false,
-    };
     let alternates = [
-        Strategy {
-            order: instance.order_max_degree(),
-            reverse_values: false,
+        PrunedKnobs {
+            value_reverse: true,
+            tie_degree: false,
         },
-        Strategy {
-            order: instance.order_most_constrained(),
-            reverse_values: true,
-        },
-        Strategy {
-            order: instance.order_natural(),
-            reverse_values: false,
+        PrunedKnobs {
+            value_reverse: false,
+            tie_degree: true,
         },
     ];
-
     let cancel = AtomicBool::new(false);
-    let canonical_out_of_budget = AtomicBool::new(false);
-    let winner: Mutex<Option<Branch>> = Mutex::new(None);
+    let winner: Mutex<Option<PrunedOutcome>> = Mutex::new(None);
     let csp = &instance;
-    // Returns whether this result became the winning verdict, so the
-    // call sites can attribute the win to their strategy family.
-    let report = |result: Branch| -> bool {
+    let report = |outcome: PrunedOutcome| -> bool {
         let mut slot = winner.lock().expect("winner slot poisoned");
         if slot.is_none() {
-            *slot = Some(result);
+            *slot = Some(outcome);
             cancel.store(true, Ordering::SeqCst);
             true
         } else {
             false
         }
     };
-
     ksa_exec::scope(|s| {
-        // Spawn order matters at low thread counts: the scope's worker
-        // pops its deque LIFO while thieves steal FIFO. Canonical is
-        // pushed first (stolen immediately by the first idle worker);
-        // the alternates are pushed after, in reverse preference order,
-        // so a lone worker runs the cheap bounded probes *before*
-        // committing to the full canonical search — on instances where
-        // an alternate ordering collapses the proof (empirically: the
-        // whole `solv` zoo), even a single-threaded run wins big, at
-        // the cost of a few bounded probe ladders when none does.
-        {
-            let (cancel, report, canonical_oob, canonical) =
-                (&cancel, &report, &canonical_out_of_budget, &canonical);
+        for knobs in alternates {
+            let (cancel, report) = (&cancel, &report);
             s.spawn(move |_| {
-                let found = AtomicBool::new(false);
-                let nodes = AtomicUsize::new(0);
-                let ctx = StratCtx {
-                    csp,
-                    order: &canonical.order,
-                    reverse_values: canonical.reverse_values,
-                    split_depth,
-                    cancel,
-                    found: &found,
-                    nodes: &nodes,
-                    budget: node_budget,
-                };
-                let mut assignment = vec![None; csp.views.len()];
-                let mut local = 0usize;
-                let out = pdfs(&ctx, 0, &mut assignment, &mut local);
-                ksa_obs::perf_count(ksa_obs::PerfCounter::PortfolioNodes, local as u64);
-                match out {
-                    done @ (Branch::Solved(_) | Branch::Exhausted) => {
-                        if report(done) {
-                            ksa_obs::perf_count(ksa_obs::PerfCounter::PortfolioCanonicalWins, 1);
-                        }
-                    }
-                    Branch::OutOfBudget => canonical_oob.store(true, Ordering::SeqCst),
-                    Branch::Cancelled => {}
+                let (out, stats) =
+                    run_pruned_strategy(csp, sym, table, Some(cancel), knobs, node_budget);
+                flush_pruned_perf(&stats);
+                if matches!(out, PrunedOutcome::Solved(_) | PrunedOutcome::Exhausted) && report(out)
+                {
+                    ksa_obs::perf_count(ksa_obs::PerfCounter::PortfolioAlternateWins, 1);
                 }
             });
         }
-        for strategy in alternates.iter().rev() {
+        {
             let (cancel, report) = (&cancel, &report);
             s.spawn(move |_| {
-                // Restart-doubled budget slices, capped well below the
-                // full budget: a probe either wins early or gets out of
-                // the way.
-                let mut slice = 1usize << 14;
-                loop {
-                    if cancel.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let found = AtomicBool::new(false);
-                    let nodes = AtomicUsize::new(0);
-                    let ctx = StratCtx {
-                        csp,
-                        order: &strategy.order,
-                        reverse_values: strategy.reverse_values,
-                        split_depth: 0,
-                        cancel,
-                        found: &found,
-                        nodes: &nodes,
-                        budget: slice,
-                    };
-                    ksa_obs::perf_count(ksa_obs::PerfCounter::PortfolioRestartSlices, 1);
-                    let mut assignment = vec![None; csp.views.len()];
-                    let mut local = 0usize;
-                    let out = pdfs(&ctx, 0, &mut assignment, &mut local);
-                    ksa_obs::perf_count(ksa_obs::PerfCounter::PortfolioNodes, local as u64);
-                    match out {
-                        done @ (Branch::Solved(_) | Branch::Exhausted) => {
-                            if report(done) {
-                                ksa_obs::perf_count(
-                                    ksa_obs::PerfCounter::PortfolioAlternateWins,
-                                    1,
-                                );
-                            }
-                            break;
-                        }
-                        Branch::Cancelled => break,
-                        Branch::OutOfBudget => {
-                            if slice > node_budget / 8 {
-                                break;
-                            }
-                            slice *= 8;
-                        }
-                    }
+                let (out, stats) = run_pruned_strategy(
+                    csp,
+                    sym,
+                    table,
+                    Some(cancel),
+                    PrunedKnobs::CANONICAL,
+                    node_budget,
+                );
+                flush_pruned_perf(&stats);
+                if matches!(out, PrunedOutcome::Solved(_) | PrunedOutcome::Exhausted) && report(out)
+                {
+                    ksa_obs::perf_count(ksa_obs::PerfCounter::PortfolioCanonicalWins, 1);
                 }
             });
         }
     });
-
     match winner.into_inner().expect("winner slot poisoned") {
-        Some(Branch::Solved(assignment)) => Ok(instance.into_solvable(assignment)),
-        Some(Branch::Exhausted) => Ok(Solvability::Unsolvable),
-        Some(Branch::OutOfBudget | Branch::Cancelled) => {
-            unreachable!("only completed strategies report")
+        Some(outcome) => finish_pruned(instance, outcome),
+        None => Solvability::Unknown,
+    }
+}
+
+/// [`decide_one_round`] against a caller-supplied [`NoGoodTable`],
+/// running the single canonical strategy — the deterministic surface of
+/// the differential tests and the incremental-reuse path.
+///
+/// With an empty fresh table the returned [`SearchStats`] (in
+/// particular `nodes`) are a pure function of the instance; seeding the
+/// table with facts harvested from an earlier search of the same
+/// instance can only shrink the work counters. Verdicts are identical to
+/// [`decide_one_round`] away from the node-budget boundary (the racing
+/// variants can only upgrade `Unknown`).
+///
+/// Instances whose value range exceeds the bitmask width fall back to
+/// the sequential reference and report default stats.
+///
+/// # Errors
+///
+/// Same conditions as [`decide_one_round`].
+pub fn decide_one_round_with_table(
+    model: &ClosedAboveModel,
+    k: usize,
+    value_max: usize,
+    exec_limit: usize,
+    node_budget: usize,
+    table: &NoGoodTable,
+) -> Result<(Solvability, SearchStats), CoreError> {
+    validate_k(k)?;
+    let n = model.n();
+    let values = value_max as Value + 1;
+    RunBudget::new(exec_limit as u128).admit(
+        "solvability superset enumeration",
+        one_round_raw_estimate(model, n, values),
+    )?;
+    let merger = merge_all_seq(n, values, exec_limit, |inputs: &[Value]| {
+        one_round_enumerate_input(model, n, inputs)
+    })?;
+    let instance = CspInstance::new(merger.views, merger.executions, k);
+    if values > MAX_MASK_VALUES {
+        let verdict = solve_csp_seq(instance, node_budget)?;
+        return Ok((verdict, SearchStats::default()));
+    }
+    let sym = CspSymmetry::detect(model.generators(), &instance.views, values);
+    record_pruned_entry(&instance, &sym);
+    let (outcome, stats) = run_pruned_strategy(
+        &instance,
+        &sym,
+        table,
+        None,
+        PrunedKnobs::CANONICAL,
+        node_budget,
+    );
+    flush_pruned_perf(&stats);
+    Ok((finish_pruned(instance, outcome), stats))
+}
+
+// --- Incremental k-sweeps --------------------------------------------------
+
+/// Result of [`decide_one_round_sweep`]: the verdict for every
+/// `k ∈ {1, …, k_max}` plus an accounting of how much of the vector was
+/// decided monotonically instead of searched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KSweep {
+    /// `verdicts[k − 1]` is the verdict for `k`-set agreement with
+    /// inputs over `{0, …, k}`. Seeded entries carry genuine (lifted)
+    /// witness maps.
+    pub verdicts: Vec<Solvability>,
+    /// Instances decided by full search.
+    pub searched: usize,
+    /// Solvable verdicts filled by lifting a smaller-k witness.
+    pub seeded: usize,
+    /// Unsolvable verdicts filled by downward monotonicity.
+    pub pruned: usize,
+}
+
+/// Decides one-round solvability for every `k ∈ {1, …, k_max}` (with the
+/// per-k value range `{0, …, k}`, matching the `solv` experiment's
+/// convention) by **binary-searching the solvability boundary** instead
+/// of deciding each `k` from scratch:
+///
+/// * a `Solvable` verdict at `k` seeds every `k' > k` by lifting the
+///   witness (cap inputs at `k`; views deciding the capped class decide
+///   their smallest heard value `≥ k` — at most one value splits in two,
+///   so `≤ k + 1` distinct decisions);
+/// * an `Unsolvable` verdict at `k` prunes every `k' < k` (an adversary
+///   restricting inputs to `{0, …, k'}` inherits the impossibility).
+///
+/// The sweep vector is identical to deciding every `k` from scratch —
+/// monotonicity is a theorem, not a heuristic — which
+/// `solvability_sweep` pins differentially. An `Unknown` (node-budget)
+/// verdict stops the monotone reasoning and the remaining entries are
+/// searched individually.
+///
+/// # Errors
+///
+/// [`CoreError::BadParameter`] for `k_max = 0`; otherwise the same
+/// budget conditions as [`decide_one_round`], for any searched or
+/// lifted instance.
+pub fn decide_one_round_sweep(
+    model: &ClosedAboveModel,
+    k_max: usize,
+    exec_limit: usize,
+    node_budget: usize,
+) -> Result<KSweep, CoreError> {
+    validate_k(k_max)?;
+    let mut verdicts: Vec<Option<Solvability>> = vec![None; k_max];
+    let (mut searched, mut seeded, mut pruned) = (0usize, 0usize, 0usize);
+    let (mut lo, mut hi) = (1usize, k_max);
+    while lo <= hi {
+        let mid = lo + (hi - lo) / 2;
+        searched += 1;
+        match decide_one_round(model, mid, mid, exec_limit, node_budget)? {
+            Solvability::Solvable(witness) => {
+                verdicts[mid - 1] = Some(Solvability::Solvable(witness.clone()));
+                let mut lifted = witness;
+                for k in mid + 1..=k_max {
+                    if verdicts[k - 1].is_some() {
+                        break;
+                    }
+                    lifted = lift_decision_map(model, k - 1, &lifted, exec_limit)?;
+                    verdicts[k - 1] = Some(Solvability::Solvable(lifted.clone()));
+                    seeded += 1;
+                }
+                hi = mid - 1;
+            }
+            Solvability::Unsolvable => {
+                verdicts[mid - 1] = Some(Solvability::Unsolvable);
+                for k in 1..mid {
+                    if verdicts[k - 1].is_none() {
+                        verdicts[k - 1] = Some(Solvability::Unsolvable);
+                        pruned += 1;
+                    }
+                }
+                lo = mid + 1;
+            }
+            Solvability::Unknown => {
+                verdicts[mid - 1] = Some(Solvability::Unknown);
+                break;
+            }
         }
-        None => {
-            debug_assert!(canonical_out_of_budget.load(std::sync::atomic::Ordering::SeqCst));
-            Ok(Solvability::Unknown)
+    }
+    // Only reachable after an `Unknown`: no monotone fact covers the
+    // remaining entries, so decide them individually.
+    for k in 1..=k_max {
+        if verdicts[k - 1].is_none() {
+            searched += 1;
+            verdicts[k - 1] = Some(decide_one_round(model, k, k, exec_limit, node_budget)?);
         }
+    }
+    ksa_obs::count(ksa_obs::Counter::CspSweepSeeded, seeded as u64);
+    ksa_obs::count(ksa_obs::Counter::CspSweepPruned, pruned as u64);
+    Ok(KSweep {
+        verdicts: verdicts
+            .into_iter()
+            .map(|v| v.expect("every k decided"))
+            .collect(),
+        searched,
+        seeded,
+        pruned,
+    })
+}
+
+/// Lifts a witness for `k_from`-set agreement (inputs `{0, …, k_from}`)
+/// to one for `k_from + 1` (inputs `{0, …, k_from + 1}`).
+///
+/// Construction: cap every heard value at `cap = k_from`; the capped
+/// view is reachable in the smaller instance, so the witness decides it.
+/// A decision `< cap` is heard uncapped and is kept; a decision `= cap`
+/// becomes the smallest heard value `≥ cap` (one exists — some process
+/// in the view capped to `cap`). Per execution the `< cap` decisions are
+/// a subset of the capped execution's (≤ `k_from`, and ≤ `k_from − 1`
+/// when any view decided `cap` there), and the `≥ cap` decisions take at
+/// most two values — ≤ `k_from + 1` distinct in all.
+fn lift_decision_map(
+    model: &ClosedAboveModel,
+    k_from: usize,
+    map: &DecisionMap,
+    exec_limit: usize,
+) -> Result<DecisionMap, CoreError> {
+    let n = model.n();
+    let cap = k_from as Value;
+    let values_to = cap + 2;
+    RunBudget::new(exec_limit as u128).admit(
+        "solvability sweep lift enumeration",
+        one_round_raw_estimate(model, n, values_to),
+    )?;
+    let merger = merge_all_seq(n, values_to, exec_limit, |inputs: &[Value]| {
+        one_round_enumerate_input(model, n, inputs)
+    })?;
+    let mut entries: Vec<(FlatView<Value>, Value)> = Vec::with_capacity(merger.views.len());
+    for view in merger.views {
+        let capped: FlatView<Value> = view.iter().map(|&(p, v)| (p, v.min(cap))).collect();
+        let decided = map
+            .decide(&capped)
+            .expect("capped view is reachable in the k_from instance");
+        let lifted = if decided < cap {
+            decided
+        } else {
+            view.iter()
+                .map(|&(_, v)| v)
+                .filter(|&v| v >= cap)
+                .min()
+                .expect("a capped-to-cap process heard a value >= cap")
+        };
+        entries.push((view, lifted));
+    }
+    entries.sort();
+    Ok(DecisionMap { entries })
+}
+
+#[cfg(test)]
+mod pruned_tests {
+    use super::*;
+    use ksa_models::named;
+
+    const EXECS: usize = 2_000_000;
+    const NODES: usize = 50_000_000;
+
+    #[test]
+    fn star_kernel_symmetry_group_order() {
+        // stars{n=3, s=1}: 6 process permutations stabilize the generator
+        // set, × 3! value permutations at values = 3.
+        let m = named::star_unions(3, 1).unwrap();
+        let values: Value = 3;
+        let merger = merge_all_seq(3, values, EXECS, |inputs: &[Value]| {
+            one_round_enumerate_input(&m, 3, inputs)
+        })
+        .unwrap();
+        let sym = CspSymmetry::detect(m.generators(), &merger.views, values);
+        assert_eq!(sym.order(), 36);
+    }
+
+    #[test]
+    fn canonical_signature_is_orbit_invariant_under_elements() {
+        let m = named::star_unions(3, 1).unwrap();
+        let values: Value = 3;
+        let merger = merge_all_seq(3, values, EXECS, |inputs: &[Value]| {
+            one_round_enumerate_input(&m, 3, inputs)
+        })
+        .unwrap();
+        let sym = CspSymmetry::detect(m.generators(), &merger.views, values);
+        // Mapping a decision set through any group element must not
+        // change its canonical signature.
+        let decisions = [(0u32, 0 as Value), (5u32, 2 as Value)];
+        let base = sym.canonical_signature(&decisions);
+        for e in &sym.elems {
+            let mapped: Vec<(u32, Value)> = decisions
+                .iter()
+                .map(|&(v, val)| (e.view_map[v as usize], e.value_map[val as usize]))
+                .collect();
+            assert_eq!(sym.canonical_signature(&mapped), base);
+        }
+    }
+
+    #[test]
+    fn star_kernel_refutes_at_the_root() {
+        // The historical `solv` wall: stars{n=3, s=1} at k = 2 took tens
+        // of millions of backtracking nodes. Propagation alone must now
+        // refute it at the root (zero or one decision nodes).
+        let m = named::star_unions(3, 1).unwrap();
+        let table = NoGoodTable::new();
+        let (verdict, stats) = decide_one_round_with_table(&m, 2, 2, EXECS, NODES, &table).unwrap();
+        assert_eq!(verdict, Solvability::Unsolvable);
+        assert!(stats.nodes <= 1, "nodes = {}", stats.nodes);
+    }
+
+    #[test]
+    fn table_reuse_only_shrinks_work() {
+        let m = named::symmetric_ring(3).unwrap();
+        let table = NoGoodTable::new();
+        let (v1, s1) = decide_one_round_with_table(&m, 1, 1, EXECS, NODES, &table).unwrap();
+        let published = table.len();
+        let (v2, s2) = decide_one_round_with_table(&m, 1, 1, EXECS, NODES, &table).unwrap();
+        assert_eq!(v1, v2);
+        assert!(s2.nodes <= s1.nodes);
+        assert!(s2.nogood_inserts == 0, "everything already published");
+        assert!(table.len() == published);
+    }
+
+    #[test]
+    fn sweep_matches_scratch_on_the_kernel() {
+        let m = named::star_unions(3, 1).unwrap();
+        let sweep = decide_one_round_sweep(&m, 3, EXECS, NODES).unwrap();
+        assert_eq!(sweep.verdicts.len(), 3);
+        assert_eq!(sweep.verdicts[0], Solvability::Unsolvable);
+        assert_eq!(sweep.verdicts[1], Solvability::Unsolvable);
+        assert!(sweep.verdicts[2].is_solvable());
+        // The boundary search needs ≤ 2 probes for k_max = 3; the rest
+        // comes from monotone facts.
+        assert!(sweep.searched <= 2, "searched = {}", sweep.searched);
+        assert_eq!(sweep.searched + sweep.seeded + sweep.pruned, 3);
+        for (i, v) in sweep.verdicts.iter().enumerate() {
+            let scratch = decide_one_round(&m, i + 1, i + 1, EXECS, NODES).unwrap();
+            assert_eq!(
+                std::mem::discriminant(v),
+                std::mem::discriminant(&scratch),
+                "k = {}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_lifted_witnesses_are_complete_maps() {
+        let m = named::simple_ring(3).unwrap();
+        let sweep = decide_one_round_sweep(&m, 3, EXECS, NODES).unwrap();
+        for (i, v) in sweep.verdicts.iter().enumerate() {
+            if let Solvability::Solvable(map) = v {
+                let scratch = decide_one_round(&m, i + 1, i + 1, EXECS, NODES).unwrap();
+                let Solvability::Solvable(scratch_map) = scratch else {
+                    panic!("sweep says solvable at k = {}", i + 1);
+                };
+                // Same reachable-view set, whatever the decisions.
+                assert_eq!(map.len(), scratch_map.len(), "k = {}", i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_zero_k_max() {
+        let m = named::simple_ring(3).unwrap();
+        assert!(decide_one_round_sweep(&m, 0, EXECS, NODES).is_err());
     }
 }
 

@@ -64,9 +64,11 @@ pub mod iter;
 mod job;
 mod pool;
 mod scope;
+pub mod sharded;
 
 pub use pool::{helped_nanos, ThreadPool};
 pub use scope::Scope;
+pub use sharded::ShardedSet;
 
 /// The rayon-compatible imports: `par_iter`, `into_par_iter`, and the
 /// [`iter::ParallelIterator`] combinators.

@@ -1,0 +1,172 @@
+//! A lock-sharded concurrent set — the substrate for **monotone pruning
+//! oracles** (no-good / transposition tables) shared by racing search
+//! strategies on the pool.
+//!
+//! The intended discipline (and the reason this lives in `ksa-exec`
+//! rather than in a search crate): every key a client inserts must be a
+//! **fact about the problem instance** — "this canonical subtree holds
+//! no solution" — never a fact about one strategy's schedule. Under that
+//! contract the table is a *monotone pruning oracle*: a lookup hit lets
+//! a reader skip work it would otherwise redo, and can never change what
+//! the search concludes, because the skipped subtree's outcome is
+//! already decided by the published fact. Determinism at any
+//! `KSA_THREADS` is then preserved by construction — scheduling changes
+//! *which* prunes fire, not *what* is computed. (The solvability
+//! no-good table, DESIGN.md §10, is the motivating client.)
+//!
+//! Internally: a fixed power-of-two number of shards, each a
+//! `Mutex<HashSet<K>>`, selected by key hash. Writers contend only
+//! within a shard; with the default shard count, simultaneous
+//! publications from every worker of even an oversubscribed pool rarely
+//! collide.
+
+use std::collections::HashSet;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::Mutex;
+
+/// Default shard count: enough that a full pool of publishing workers
+/// rarely collides, small enough that `snapshot`/`len` stay cheap.
+const DEFAULT_SHARDS: usize = 64;
+
+/// A lock-sharded concurrent hash set (see the module docs for the
+/// monotone-oracle contract its clients rely on).
+pub struct ShardedSet<K> {
+    shards: Box<[Mutex<HashSet<K>>]>,
+    hasher: RandomState,
+}
+
+impl<K: Hash + Eq> ShardedSet<K> {
+    /// An empty set with the default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// An empty set with `shards` shards (rounded up to a power of two,
+    /// minimum 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let count = shards.max(1).next_power_of_two();
+        ShardedSet {
+            shards: (0..count).map(|_| Mutex::new(HashSet::new())).collect(),
+            hasher: RandomState::new(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashSet<K>> {
+        let h = self.hasher.hash_one(key) as usize;
+        // The shard count is a power of two, so masking is uniform.
+        &self.shards[h & (self.shards.len() - 1)]
+    }
+
+    /// Whether `key` has been published.
+    pub fn contains(&self, key: &K) -> bool {
+        self.shard(key)
+            .lock()
+            .expect("shard poisoned")
+            .contains(key)
+    }
+
+    /// Publishes `key`; returns `true` if it was new.
+    pub fn insert(&self, key: K) -> bool {
+        self.shard(&key).lock().expect("shard poisoned").insert(key)
+    }
+
+    /// Number of published keys (locks every shard; not a hot-path call).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether no key has been published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Hash + Eq + Clone> ShardedSet<K> {
+    /// All published keys, in unspecified order (locks every shard).
+    /// Intended for harvesting a finished search's facts to seed a later
+    /// one — the incremental-reuse path, not the hot path.
+    pub fn snapshot(&self) -> Vec<K> {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("shard poisoned")
+                    .iter()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+}
+
+impl<K: Hash + Eq> Default for ShardedSet<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K> std::fmt::Debug for ShardedSet<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSet")
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_len() {
+        let s: ShardedSet<u64> = ShardedSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(7));
+        assert!(!s.insert(7), "duplicate publication is idempotent");
+        assert!(s.insert(8));
+        assert!(s.contains(&7));
+        assert!(!s.contains(&9));
+        assert_eq!(s.len(), 2);
+        let mut snap = s.snapshot();
+        snap.sort_unstable();
+        assert_eq!(snap, vec![7, 8]);
+    }
+
+    #[test]
+    fn shard_count_rounds_up() {
+        let s: ShardedSet<u32> = ShardedSet::with_shards(3);
+        for i in 0..100 {
+            s.insert(i);
+        }
+        assert_eq!(s.len(), 100);
+        let zero: ShardedSet<u32> = ShardedSet::with_shards(0);
+        assert!(zero.insert(1));
+    }
+
+    #[test]
+    fn concurrent_publication_is_a_set_union() {
+        let s: ShardedSet<u64> = ShardedSet::new();
+        let pool = crate::ThreadPool::new(4);
+        pool.install(|| {
+            crate::scope(|sc| {
+                for t in 0..8u64 {
+                    let s = &s;
+                    sc.spawn(move |_| {
+                        // Overlapping ranges: every value published by
+                        // two workers.
+                        for v in (t * 500)..(t * 500 + 1000) {
+                            s.insert(v);
+                        }
+                    });
+                }
+            });
+        });
+        assert_eq!(s.len(), 4500);
+        for v in 0..4500u64 {
+            assert!(s.contains(&v));
+        }
+    }
+}

@@ -223,4 +223,60 @@ proptest! {
             prop_assert!(sym.contains(&img));
         }
     }
+
+    // --- orbit-key laws (load-bearing for the solvability symmetry
+    // breaking, DESIGN.md §10: the no-good table keys partial
+    // assignments by canonical forms, so canonical_form must be a
+    // genuine orbit invariant and Sym a genuine closure operator). ---
+
+    #[test]
+    fn canonical_form_is_orbit_invariant(g in digraph(4), p in permutation(4)) {
+        // σ(g) is in g's orbit, so both must canonicalize identically.
+        let img = p.apply_graph(&g).unwrap();
+        prop_assert_eq!(
+            ksa_graphs::perm::canonical_form(&g),
+            ksa_graphs::perm::canonical_form(&img)
+        );
+    }
+
+    #[test]
+    fn canonical_form_is_idempotent_and_minimal(g in digraph(4)) {
+        let c = ksa_graphs::perm::canonical_form(&g);
+        prop_assert_eq!(ksa_graphs::perm::canonical_form(&c), c.clone());
+        prop_assert!(c <= g, "the canonical form is the orbit minimum");
+    }
+
+    #[test]
+    fn symmetric_closure_is_idempotent(gs in prop::collection::vec(digraph(4), 1..=3)) {
+        let once = ksa_graphs::perm::symmetric_closure(&gs).unwrap();
+        let twice = ksa_graphs::perm::symmetric_closure(&once).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn stabilizing_permutations_form_a_group(gs in prop::collection::vec(digraph(4), 1..=3)) {
+        let stab = ksa_graphs::perm::stabilizing_permutations(&gs).unwrap();
+        prop_assert!(stab.contains(&Permutation::identity(4)));
+        for a in &stab {
+            prop_assert!(stab.contains(&a.inverse()));
+            for b in &stab {
+                prop_assert!(stab.contains(&a.compose(b)));
+            }
+        }
+        // Every member genuinely stabilizes the set.
+        let set: std::collections::BTreeSet<_> = gs.iter().cloned().collect();
+        for a in &stab {
+            let img: std::collections::BTreeSet<_> =
+                set.iter().map(|g| a.apply_graph(g).unwrap()).collect();
+            prop_assert_eq!(&img, &set);
+        }
+    }
+
+    #[test]
+    fn symmetric_closure_stabilized_by_everything(gs in prop::collection::vec(digraph(4), 1..=2)) {
+        // Sym(S) is permutation-closed, so its stabilizer is all of S_n.
+        let sym = ksa_graphs::perm::symmetric_closure(&gs).unwrap();
+        let stab = ksa_graphs::perm::stabilizing_permutations(&sym).unwrap();
+        prop_assert_eq!(stab.len(), 24);
+    }
 }

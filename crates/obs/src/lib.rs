@@ -63,6 +63,20 @@ pub enum Counter {
     ConnectivityEarlyExits,
     /// CSP solvability verdicts produced (decided or Unknown).
     CspVerdicts,
+    /// Symmetry-group order detected per CSP instance, summed (process
+    /// automorphisms × value permutations). Detection runs once per
+    /// instance before any racing starts, so it is schedule-invariant.
+    CspSymmetries,
+    /// Root branches pruned as non-lex-least orbit representatives.
+    /// Computed from the instance alone (root propagation + first
+    /// branch variable), before any strategy races — deterministic.
+    CspOrbitRootPrunes,
+    /// k-sweep verdicts derived by lifting a solvability certificate
+    /// from k to k+1 (monotonicity) instead of searching.
+    CspSweepSeeded,
+    /// k-sweep verdicts derived from an impossibility proof at a higher
+    /// k (monotonicity) instead of searching.
+    CspSweepPruned,
     /// Budget admissions granted.
     BudgetAdmissions,
     /// Budget admissions refused.
@@ -82,7 +96,7 @@ pub enum Counter {
 
 impl Counter {
     /// All counters, in presentation order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 18] = [
         Counter::FacetsEnumerated,
         Counter::FacesClosed,
         Counter::ViewsInterned,
@@ -91,6 +105,10 @@ impl Counter {
         Counter::RanksComputed,
         Counter::ConnectivityEarlyExits,
         Counter::CspVerdicts,
+        Counter::CspSymmetries,
+        Counter::CspOrbitRootPrunes,
+        Counter::CspSweepSeeded,
+        Counter::CspSweepPruned,
         Counter::BudgetAdmissions,
         Counter::BudgetRejections,
         Counter::RegistryLookups,
@@ -110,6 +128,10 @@ impl Counter {
             Counter::RanksComputed => "ranks_computed",
             Counter::ConnectivityEarlyExits => "connectivity_early_exits",
             Counter::CspVerdicts => "csp_verdicts",
+            Counter::CspSymmetries => "csp_symmetries",
+            Counter::CspOrbitRootPrunes => "csp_orbit_root_prunes",
+            Counter::CspSweepSeeded => "csp_sweep_seeded",
+            Counter::CspSweepPruned => "csp_sweep_pruned",
             Counter::BudgetAdmissions => "budget_admissions",
             Counter::BudgetRejections => "budget_rejections",
             Counter::RegistryLookups => "registry_lookups",
@@ -131,14 +153,20 @@ pub enum PerfCounter {
     ExecParks,
     /// Jobs made stealable (deque pushes + injector submissions).
     ExecSpawns,
-    /// CSP search nodes explored across all portfolio strategies
+    /// CSP decision nodes explored across all portfolio strategies
     /// (includes work thrown away at cancellation).
     PortfolioNodes,
-    /// Restart slices started by alternate portfolio strategies.
-    PortfolioRestartSlices,
+    /// No-good table probes that hit a published dead subtree (work
+    /// skipped). Which prunes fire depends on publication timing, so
+    /// this is perf-tier by design — the *verdicts* they protect are
+    /// not.
+    NoGoodHits,
+    /// Canonical dead-subtree signatures published into no-good tables
+    /// (unique insertions).
+    NoGoodInserts,
     /// Portfolio races won by the canonical strategy.
     PortfolioCanonicalWins,
-    /// Portfolio races won by an alternate (restart-doubled) strategy.
+    /// Portfolio races won by an alternate strategy.
     PortfolioAlternateWins,
     /// Registry materializations discarded because a concurrent racer
     /// already populated the cache entry.
@@ -147,12 +175,13 @@ pub enum PerfCounter {
 
 impl PerfCounter {
     /// All perf counters, in presentation order.
-    pub const ALL: [PerfCounter; 8] = [
+    pub const ALL: [PerfCounter; 9] = [
         PerfCounter::ExecSteals,
         PerfCounter::ExecParks,
         PerfCounter::ExecSpawns,
         PerfCounter::PortfolioNodes,
-        PerfCounter::PortfolioRestartSlices,
+        PerfCounter::NoGoodHits,
+        PerfCounter::NoGoodInserts,
         PerfCounter::PortfolioCanonicalWins,
         PerfCounter::PortfolioAlternateWins,
         PerfCounter::RegistryRedundantBuilds,
@@ -165,7 +194,8 @@ impl PerfCounter {
             PerfCounter::ExecParks => "exec_parks",
             PerfCounter::ExecSpawns => "exec_spawns",
             PerfCounter::PortfolioNodes => "portfolio_nodes",
-            PerfCounter::PortfolioRestartSlices => "portfolio_restart_slices",
+            PerfCounter::NoGoodHits => "nogood_hits",
+            PerfCounter::NoGoodInserts => "nogood_inserts",
             PerfCounter::PortfolioCanonicalWins => "portfolio_canonical_wins",
             PerfCounter::PortfolioAlternateWins => "portfolio_alternate_wins",
             PerfCounter::RegistryRedundantBuilds => "registry_redundant_builds",

@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example solvability`
 
-use kset_agreement::core::solvability::{decide_one_round, Solvability};
+use kset_agreement::core::solvability::{decide_one_round, decide_one_round_sweep, Solvability};
 use kset_agreement::prelude::*;
 use kset_agreement::runtime::execution::execute_schedule;
 
@@ -30,9 +30,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = BoundsReport::compute(model, 1)?;
         let upper = report.best_upper().expect("exists").k;
         let lower = report.best_lower().map(|l| l.impossible_k).unwrap_or(0);
+        // One incremental sweep decides the whole k-range: the binary
+        // search lands on the boundary, a witness lift seeds everything
+        // above it and downward monotonicity fills everything below.
+        let sweep = decide_one_round_sweep(model, 3, 2_000_000, 50_000_000)?;
         for k in 1..=3usize {
-            let verdict = decide_one_round(model, k, k, 2_000_000, 50_000_000)?;
-            let shown = match &verdict {
+            let verdict = &sweep.verdicts[k - 1];
+            let shown = match verdict {
                 Solvability::Solvable(_) => "solvable",
                 Solvability::Unsolvable => "unsolvable",
                 Solvability::Unknown => "unknown (budget)",
@@ -51,10 +55,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 assert!(verdict.is_solvable());
             }
             if k <= lower {
-                assert_eq!(verdict, Solvability::Unsolvable);
+                assert_eq!(verdict, &Solvability::Unsolvable);
             }
         }
-        println!();
+        println!(
+            "  (sweep: {} searched, {} seeded, {} pruned)\n",
+            sweep.searched, sweep.seeded, sweep.pruned
+        );
     }
 
     // Synthesize a witness and run it as an actual algorithm.
