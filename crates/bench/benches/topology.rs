@@ -131,15 +131,51 @@ fn bench_input_complex(c: &mut Criterion) {
     group.finish();
 }
 
+/// The shelling portfolio vs the pinned sequential oracle (DESIGN.md
+/// §11): the Fig 4 exemplars (tiny accept/reject pair), the octahedron
+/// (cross-polytope n = 3, the largest shellable zoo complex) and the
+/// n = 4 cross-polytope, each through both search paths plus the
+/// certified producer.
 fn bench_shelling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("shelling_search");
+    use ksa_topology::shelling::{find_shelling_order_seq, is_shellable_certified};
+    use ksa_topology::simplex::{Simplex, Vertex};
+
+    let mut group = c.benchmark_group("shelling");
     group.sample_size(10);
+    let tri = |a: usize, b: usize, c: usize| {
+        Simplex::new(vec![
+            Vertex::new(a, 0u32),
+            Vertex::new(b, 0),
+            Vertex::new(c, 0),
+        ])
+        .expect("distinct colors")
+    };
+    let mut cases: Vec<(String, Complex<u32>)> = vec![
+        (
+            "fig4a".into(),
+            Complex::from_facets(vec![tri(0, 1, 2), tri(0, 2, 3)]),
+        ),
+        (
+            "fig4b".into(),
+            Complex::from_facets(vec![tri(0, 1, 2), tri(2, 3, 4)]),
+        ),
+    ];
+    // Cross-polytopes: n = 3 is the octahedron.
     for n in [3usize, 4] {
         let complex = Pseudosphere::new((0..n).map(|p| (p, vec![0u32, 1])).collect())
             .expect("distinct colors")
             .to_complex();
-        group.bench_with_input(BenchmarkId::new("cross_polytope", n), &complex, |b, cx| {
+        cases.push((format!("cross_polytope_{n}"), complex));
+    }
+    for (name, complex) in &cases {
+        group.bench_with_input(BenchmarkId::new("portfolio", name), complex, |b, cx| {
             b.iter(|| find_shelling_order(black_box(cx)))
+        });
+        group.bench_with_input(BenchmarkId::new("seq_oracle", name), complex, |b, cx| {
+            b.iter(|| find_shelling_order_seq(black_box(cx)))
+        });
+        group.bench_with_input(BenchmarkId::new("certified", name), complex, |b, cx| {
+            b.iter(|| is_shellable_certified(black_box(cx), "bench"))
         });
     }
     group.finish();

@@ -15,6 +15,9 @@
 //!                            # hunt over a registry selection
 //! experiments all --json BENCH_results.json
 //!                            # also write machine-readable results
+//! experiments --smoke --certs certs/
+//!                            # export every emitted certificate for an
+//!                            # out-of-process `cert-check` pass
 //! ```
 //!
 //! `--json <path>` writes per-experiment timings, every shape assertion,
@@ -31,6 +34,12 @@
 //! run (experiment, round, rank-reduction, CSP spans): open the file via
 //! `chrome://tracing` or <https://ui.perfetto.dev>.
 //!
+//! `--certs <dir>` writes every certificate the experiments emitted
+//! (shelling / homology / solvability verdicts, DESIGN.md §11) as
+//! `<experiment>-<idx>-<label>.cert` files under `<dir>`, so the
+//! standalone `cert-check` binary can re-verify the whole run without
+//! sharing a process — the CI determinism job does exactly that.
+//!
 //! `--models <glob>` selects models from the builtin registry by
 //! canonical name (`*`/`?` wildcards; comma-separated patterns respect
 //! braces). Repeatable — occurrences are joined with `,`. It filters
@@ -44,6 +53,20 @@ use ksa_bench::{
     SMOKE_EXPERIMENTS,
 };
 use std::process::ExitCode;
+
+/// Filesystem-safe slug of a certificate label (`--certs` file names).
+fn cert_slug(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 fn json_escape(s: &str) -> String {
@@ -80,6 +103,15 @@ fn render_json(results: &[(ExperimentOutcome, ExperimentTiming)]) -> String {
         out.push_str("    {\n");
         out.push_str(&format!("      \"id\": \"{}\",\n", json_escape(outcome.id)));
         out.push_str(&format!("      \"passed\": {},\n", outcome.passed));
+        // Deterministic at any KSA_THREADS (part of the CI diff):
+        // null ⇔ the experiment emits no certificates.
+        out.push_str(&format!(
+            "      \"certified\": {},\n",
+            match outcome.certified {
+                Some(v) => v.to_string(),
+                None => "null".to_string(),
+            }
+        ));
         // `wall_ms` (on-task elapsed) is the tracked series; the other
         // two qualify it (see ksa_bench::ExperimentTiming).
         out.push_str(&format!("      \"wall_ms\": {:.1},\n", timing.wall_ms));
@@ -189,6 +221,7 @@ fn main() -> ExitCode {
     // `--list-models` before interpreting the rest as ids.
     let mut json_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut certs_dir: Option<String> = None;
     let mut model_globs: Vec<String> = Vec::new();
     let mut list_models = false;
     let mut selected: Vec<String> = Vec::new();
@@ -199,6 +232,14 @@ fn main() -> ExitCode {
                 Some(path) => json_path = Some(path),
                 None => {
                     eprintln!("--json requires a path argument");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if arg == "--certs" {
+            match it.next() {
+                Some(dir) => certs_dir = Some(dir),
+                None => {
+                    eprintln!("--certs requires a directory argument");
                     return ExitCode::FAILURE;
                 }
             }
@@ -284,6 +325,32 @@ fn main() -> ExitCode {
             Err(e) => {
                 eprintln!("experiment {id}: error: {e}");
                 all_ok = false;
+            }
+        }
+    }
+
+    if let Some(dir) = certs_dir {
+        let dir = std::path::Path::new(&dir);
+        match std::fs::create_dir_all(dir) {
+            Err(e) => {
+                eprintln!("failed to create {}: {e}", dir.display());
+                all_ok = false;
+            }
+            Ok(()) => {
+                let mut written = 0usize;
+                for (outcome, _) in &results {
+                    for (i, (label, text)) in outcome.certs.iter().enumerate() {
+                        let path =
+                            dir.join(format!("{}-{i:02}-{}.cert", outcome.id, cert_slug(label)));
+                        if let Err(e) = std::fs::write(&path, text) {
+                            eprintln!("failed to write {}: {e}", path.display());
+                            all_ok = false;
+                        } else {
+                            written += 1;
+                        }
+                    }
+                }
+                println!("wrote {written} certificate(s) to {}", dir.display());
             }
         }
     }

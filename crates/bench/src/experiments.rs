@@ -26,7 +26,7 @@ use ksa_runtime::monte_carlo::monte_carlo;
 use ksa_topology::complex::Complex;
 use ksa_topology::connectivity::homological_connectivity;
 use ksa_topology::pseudosphere::Pseudosphere;
-use ksa_topology::shelling::is_shellable;
+use ksa_topology::shelling::{is_shellable, is_shellable_certified};
 use ksa_topology::simplex::{Simplex, Vertex};
 use ksa_topology::uninterpreted::{closed_above_uninterpreted_complex, uninterpreted_simplex};
 use std::error::Error;
@@ -132,10 +132,12 @@ pub fn fig3() -> R {
     Ok(out)
 }
 
-/// Figure 4: shellable vs non-shellable exemplars.
+/// Figure 4: shellable vs non-shellable exemplars, each verdict emitted
+/// as a [`ksa_cert::ShellingCert`] and re-verified by the standalone
+/// checker in-run (DESIGN.md §11).
 pub fn fig4() -> R {
     let mut out = ExperimentOutcome::new("fig4");
-    out.line("Figure 4 — shellability of the two exemplars");
+    out.line("Figure 4 — shellability of the two exemplars (certified)");
     let tri = |a: usize, b: usize, c: usize| {
         Simplex::new(vec![
             Vertex::new(a, 0u32),
@@ -146,12 +148,23 @@ pub fn fig4() -> R {
     };
     let fig4a = Complex::from_facets(vec![tri(0, 1, 2), tri(0, 2, 3)]);
     let fig4b = Complex::from_facets(vec![tri(0, 1, 2), tri(2, 3, 4)]);
-    let a = is_shellable(&fig4a)?;
-    let b = is_shellable(&fig4b)?;
+    let (a, cert_a) = is_shellable_certified(&fig4a, "fig4a")?;
+    let (b, cert_b) = is_shellable_certified(&fig4b, "fig4b")?;
     out.line(format!("Figure 4a shellable: {a} (paper: yes)"));
     out.line(format!("Figure 4b shellable: {b} (paper: no)"));
     out.check("4a shellable", a);
     out.check("4b not shellable", !b);
+    // The portfolio's verdicts agree with the pinned sequential oracle.
+    out.check(
+        "4a verdict matches is_shellable",
+        is_shellable(&fig4a)? == a,
+    );
+    out.check(
+        "4b verdict matches is_shellable",
+        is_shellable(&fig4b)? == b,
+    );
+    out.certify(ksa_cert::Cert::Shelling(cert_a));
+    out.certify(ksa_cert::Cert::Shelling(cert_b));
     Ok(out)
 }
 
@@ -425,13 +438,13 @@ pub fn multiround() -> R {
 /// iterated-interpretation complexes vs the combinatorial multi-round
 /// lower bounds, plus the round-1 anchor to the one-round pipeline.
 pub fn rounds() -> R {
-    use ksa_core::bounds::cross_check::cross_check_round_sweep;
+    use ksa_core::bounds::cross_check::cross_check_round_sweep_certified;
     use ksa_topology::interpretation::protocol_complex_one_round;
     use ksa_topology::rounds::protocol_complex_rounds;
 
     let mut out = ExperimentOutcome::new("rounds");
     out.line(
-        "rounds — iterated-interpretation protocol complexes vs Thm 6.10/6.11 (binary inputs)",
+        "rounds — iterated-interpretation protocol complexes vs Thm 6.10/6.11 (binary inputs, certified Betti path)",
     );
     out.line(format!(
         "{:<16} {:>3} {:>8} {:>7} {:>6} {:>9}  {}",
@@ -445,7 +458,8 @@ pub fn rounds() -> R {
         ("stars{n=3,s=2}", 2),
     ] {
         let model = registry_model(name)?;
-        let sweep = cross_check_round_sweep(&model, 1, rounds, 100_000_000u128)?;
+        let (sweep, certs) =
+            cross_check_round_sweep_certified(&model, 1, rounds, 100_000_000u128, name)?;
         for row in &sweep.per_round {
             out.line(format!(
                 "{name:<16} {:>3} {:>8} {:>7} {:>6} {:>9}  {:?}",
@@ -462,6 +476,9 @@ pub fn rounds() -> R {
             );
         }
         out.check(&format!("{name}: sweep consistent"), sweep.is_consistent());
+        for cert in certs {
+            out.certify(ksa_cert::Cert::Homology(cert));
+        }
         sweeps.push((name, sweep));
     }
 
@@ -756,9 +773,11 @@ pub fn cor55() -> R {
 /// this is where the pruned search's wall-clock win lands, so the
 /// timings start a fresh baseline series (see EXPERIMENTS.md).
 pub fn solv() -> R {
-    use ksa_core::solvability::{decide_one_round_sweep, Solvability};
+    use ksa_core::solvability::{
+        decide_one_round_sweep, decide_one_round_with_table_certified, NoGoodTable, Solvability,
+    };
     let mut out = ExperimentOutcome::new("solv");
-    out.line("extension — exact one-round oblivious solvability (incremental k-sweep)");
+    out.line("extension — exact one-round oblivious solvability (incremental k-sweep, certified)");
     out.line(format!(
         "{:<18} {:>3} {:>12} {:>22}",
         "model", "k", "verdict", "paper prediction"
@@ -816,6 +835,29 @@ pub fn solv() -> R {
                 &format!("{name} k={k}: matches the paper"),
                 verdict.is_solvable() == expect_solvable,
             );
+            // Re-decide this pinned (model, k) from scratch through the
+            // certified path (cheap after the pruned search) and emit a
+            // machine-checkable certificate for the verdict. The sweep
+            // uses per-k inputs over {0, …, k}, so value_max = k.
+            let table = NoGoodTable::new();
+            let (scratch, _, cert) = decide_one_round_with_table_certified(
+                &model,
+                k,
+                k,
+                2_000_000,
+                50_000_000,
+                &table,
+                2_000_000,
+                &format!("{name} k={k}"),
+            )?;
+            out.check(
+                &format!("{name} k={k}: certified re-decision agrees with the sweep"),
+                scratch.is_solvable() == verdict.is_solvable(),
+            );
+            match cert {
+                Some(cert) => out.certify(ksa_cert::Cert::Solvability(cert)),
+                None => out.check(&format!("{name} k={k}: verdict was decided"), false),
+            }
         }
     }
     out.line(format!(

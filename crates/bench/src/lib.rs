@@ -25,6 +25,21 @@ pub struct ExperimentOutcome {
     /// experiments without budgeted model sweeps; `hunt` fills it so
     /// coverage gaps are visible in the table and `--json`.
     pub skipped_models: Vec<String>,
+    /// Certificate verdict of the experiment (DESIGN.md §11): `None`
+    /// when the experiment emits no certificates, `Some(true)` when
+    /// every emitted certificate was re-verified in-run by the
+    /// standalone `ksa-cert` checker, `Some(false)` when any was
+    /// rejected. Deterministic at any `KSA_THREADS` (part of the CI
+    /// determinism diff as the `--json` `certified` field).
+    pub certified: Option<bool>,
+    /// The emitted certificates as `(label, textual form)` pairs, in
+    /// emission order — `experiments --certs <dir>` writes each to a
+    /// `.cert` file for the out-of-process `cert-check` pass. The
+    /// *texts* may vary across schedules (a shelling certificate
+    /// carries whichever valid order won the race); everything the
+    /// determinism diff sees — labels, verdicts, check lines — is
+    /// schedule-invariant.
+    pub certs: Vec<(String, String)>,
 }
 
 impl ExperimentOutcome {
@@ -35,6 +50,8 @@ impl ExperimentOutcome {
             passed: true,
             checks: Vec::new(),
             skipped_models: Vec::new(),
+            certified: None,
+            certs: Vec::new(),
         }
     }
 
@@ -47,6 +64,27 @@ impl ExperimentOutcome {
         self.line(format!("  [{}] {}", if ok { "ok" } else { "FAIL" }, what));
         self.checks.push((what.to_string(), ok));
         self.passed &= ok;
+    }
+
+    /// Re-verifies `cert` with its standalone checker, records the
+    /// result both as a shape assertion and in the `certified` verdict,
+    /// and stores the textual form for `--certs` export.
+    pub(crate) fn certify(&mut self, cert: ksa_cert::Cert) {
+        let verdict = cert.check();
+        let ok = verdict.is_ok();
+        self.check(
+            &format!(
+                "certificate re-verified: {} `{}`",
+                cert.kind(),
+                cert.label()
+            ),
+            ok,
+        );
+        if let Err(e) = verdict {
+            self.line(format!("    checker said: {e}"));
+        }
+        self.certified = Some(self.certified.unwrap_or(true) && ok);
+        self.certs.push((cert.label().to_string(), cert.to_text()));
     }
 }
 

@@ -160,6 +160,69 @@ pub fn cross_check_round_sweep(
     })
 }
 
+/// [`cross_check_round_sweep`] plus one machine-checkable
+/// [`ksa_cert::HomologyCert`] per round (DESIGN.md §11): every row of
+/// the returned report is re-derived through the *certified* Betti
+/// path ([`ksa_topology::chain::reduced_betti_certified`]), whose
+/// witness a standalone checker can re-verify from the facet list
+/// alone. The report is bit-identical to the uncertified sweep — the
+/// certified path runs the same engine in the same canonical order, it
+/// just cannot reuse reduced bases across rounds, so it trades the
+/// sweep's carry-over for per-round witnesses.
+///
+/// Certificates are labelled `"<label> r=<round>"`, round 1 first.
+///
+/// # Errors
+///
+/// Same conditions as [`cross_check_round_sweep`].
+pub fn cross_check_round_sweep_certified(
+    model: &ClosedAboveModel,
+    value_max: usize,
+    rounds: usize,
+    budget: impl Into<RunBudget>,
+    label: &str,
+) -> Result<(RoundSweepReport, Vec<ksa_cert::HomologyCert>), CoreError> {
+    let budget = budget.into();
+    let n = ksa_models::ObliviousModel::n(model);
+    let input = input_complex(n, value_max, budget.max_executions)?;
+    let rc = protocol_complex_rounds(model.generators(), &input, rounds, budget)?;
+    let mut per_round = Vec::with_capacity(rounds);
+    let mut certs = Vec::with_capacity(rounds);
+    for r in 1..=rounds {
+        let complex = rc.complex_at(r).expect("round was materialized");
+        let lower = best_lower_bound(model, r)?;
+        let predicted_l = lower
+            .as_ref()
+            .map(|b| b.impossible_k as isize - 1)
+            .unwrap_or(-1);
+        let (betti, cert) =
+            ksa_topology::chain::reduced_betti_certified(complex, &format!("{label} r={r}"))
+                .expect("protocol complexes are never void");
+        // `HomologyCert::connectivity` uses the same convention as
+        // `Connectivity::from_reduced_betti`: first nonzero index minus
+        // one, or the dimension when the table vanishes.
+        let measured_connectivity = cert.connectivity as isize;
+        per_round.push(RoundCrossCheck {
+            round: r,
+            lower,
+            predicted_l,
+            measured_connectivity,
+            betti,
+            facets: complex.facet_count(),
+            interned_views: rc.table_at(r).expect("round was materialized").len(),
+        });
+        certs.push(cert);
+    }
+    Ok((
+        RoundSweepReport {
+            n,
+            value_max,
+            per_round,
+        },
+        certs,
+    ))
+}
+
 /// [`cross_check_round_sweep`] with the model resolved from the builtin
 /// registry by name (any canonical spec string works:
 /// `"stars{n=3,s=1}"`, `"random{n=3,p=0.5,seed=7,count=4}"`, …). The
@@ -202,6 +265,24 @@ mod tests {
         assert!(cross_check_round_sweep_by_name("no such model", 1, 1, 1_000u128).is_err());
         // Explicit models are rejected with a model error, not a panic.
         assert!(cross_check_round_sweep_by_name("nonsplit{n=3}", 1, 1, 1_000_000u128).is_err());
+    }
+
+    #[test]
+    fn certified_sweep_matches_and_certs_check() {
+        let m = named::simple_ring(3).unwrap();
+        let plain = cross_check_round_sweep(&m, 1, 2, 1_000_000u128).unwrap();
+        let (certified, certs) =
+            cross_check_round_sweep_certified(&m, 1, 2, 1_000_000u128, "ring{n=3}").unwrap();
+        // The certified path must reproduce the sweep bit-identically.
+        assert_eq!(plain, certified);
+        assert_eq!(certs.len(), 2);
+        for (r, cert) in (1..=2usize).zip(&certs) {
+            assert_eq!(cert.label, format!("ring{{n=3}} r={r}"));
+            ksa_cert::check_homology(cert).unwrap();
+            // Round-trip through the textual format.
+            let text = ksa_cert::Cert::Homology(cert.clone()).to_text();
+            ksa_cert::Cert::parse(&text).unwrap().check().unwrap();
+        }
     }
 
     #[test]

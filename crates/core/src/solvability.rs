@@ -207,6 +207,13 @@ impl DecisionMap {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// The `(flat view, decision)` entries in canonical sorted order —
+    /// the raw material of a [`ksa_cert::SolvabilityCert`]. The map
+    /// itself stays sealed; this is a read-only window.
+    pub fn entries(&self) -> impl Iterator<Item = &(FlatView<Value>, Value)> {
+        self.entries.iter()
+    }
 }
 
 impl crate::algorithms::ObliviousAlgorithm for DecisionMap {
@@ -1669,6 +1676,83 @@ pub fn decide_one_round_with_table(
     Ok((finish_pruned(instance, outcome), stats))
 }
 
+/// [`decide_one_round_with_table`] plus a machine-checkable
+/// [`ksa_cert::SolvabilityCert`] for any decided verdict (DESIGN.md
+/// §11): `Solvable` carries the full decision map, `Unsolvable` an
+/// exhaustion attestation built from the [`SearchStats`]; `Unknown`
+/// yields no certificate. The certificate's closure graphs are
+/// enumerated independently of the search (the same
+/// [`ksa_graphs::closure::enumerate_closure`] surface the replay
+/// verifier uses), so the standalone checker replays decisions against
+/// a graph set the producer did not hand-pick.
+///
+/// # Errors
+///
+/// Same conditions as [`decide_one_round_with_table`], plus graph-layer
+/// errors when the closure enumeration overruns `graph_limit`.
+#[allow(clippy::too_many_arguments)]
+pub fn decide_one_round_with_table_certified(
+    model: &ClosedAboveModel,
+    k: usize,
+    value_max: usize,
+    exec_limit: usize,
+    node_budget: usize,
+    table: &NoGoodTable,
+    graph_limit: usize,
+    label: &str,
+) -> Result<(Solvability, SearchStats, Option<ksa_cert::SolvabilityCert>), CoreError> {
+    let (verdict, stats) =
+        decide_one_round_with_table(model, k, value_max, exec_limit, node_budget, table)?;
+    let cert_verdict = match &verdict {
+        Solvability::Solvable(map) => Some(ksa_cert::SolvVerdict::Map(
+            map.entries()
+                .map(|(view, d)| (view.iter().map(|&(p, v)| (p as u32, v)).collect(), *d))
+                .collect(),
+        )),
+        // A search that terminates examines at least the root, and the
+        // fallback paths that report default stats still did so: clamp
+        // the attestation to the checker's "did any work" floor. The
+        // trivial symmetry group has order 1, never 0.
+        Solvability::Unsolvable => Some(ksa_cert::SolvVerdict::Exhausted {
+            nodes: stats.nodes.max(1),
+            symmetry_order: stats.symmetry_order.max(1),
+        }),
+        Solvability::Unknown => None,
+    };
+    let Some(cv) = cert_verdict else {
+        return Ok((verdict, stats, None));
+    };
+    let n = model.n();
+    let mut graphs = Vec::new();
+    for g in model.generators() {
+        graphs.extend(ksa_graphs::closure::enumerate_closure(g, graph_limit)?);
+    }
+    graphs.sort();
+    graphs.dedup();
+    let graph_sets: Vec<Vec<Vec<u32>>> = graphs
+        .iter()
+        .map(|g| {
+            (0..n)
+                .map(|p| {
+                    let mut in_set: Vec<u32> = g.in_set(p).iter().map(|q| q as u32).collect();
+                    in_set.sort_unstable();
+                    in_set
+                })
+                .collect()
+        })
+        .collect();
+    ksa_obs::count(ksa_obs::Counter::CertsEmitted, 1);
+    let cert = ksa_cert::SolvabilityCert {
+        label: label.to_string(),
+        n: n as u32,
+        k: k as u32,
+        value_max: value_max as u32,
+        graphs: graph_sets,
+        verdict: cv,
+    };
+    Ok((verdict, stats, Some(cert)))
+}
+
 // --- Incremental k-sweeps --------------------------------------------------
 
 /// Result of [`decide_one_round_sweep`]: the verdict for every
@@ -1890,6 +1974,45 @@ mod pruned_tests {
         assert!(s2.nodes <= s1.nodes);
         assert!(s2.nogood_inserts == 0, "everything already published");
         assert!(table.len() == published);
+    }
+
+    #[test]
+    fn certified_decide_emits_checkable_certs() {
+        let m = named::star_unions(3, 1).unwrap();
+        // k = 3 is solvable: the certificate carries the decision map
+        // and the standalone checker replays every execution.
+        let table = NoGoodTable::new();
+        let (verdict, _, cert) =
+            decide_one_round_with_table_certified(&m, 3, 3, EXECS, NODES, &table, EXECS, "s31 k=3")
+                .unwrap();
+        assert!(verdict.is_solvable());
+        let cert = cert.expect("decided verdicts carry a certificate");
+        ksa_cert::check_solvability(&cert).unwrap();
+        let text = ksa_cert::Cert::Solvability(cert).to_text();
+        ksa_cert::Cert::parse(&text).unwrap().check().unwrap();
+
+        // k = 2 is unsolvable: the certificate is an exhaustion
+        // attestation with sane statistics.
+        let table = NoGoodTable::new();
+        let (verdict, _, cert) =
+            decide_one_round_with_table_certified(&m, 2, 2, EXECS, NODES, &table, EXECS, "s31 k=2")
+                .unwrap();
+        assert_eq!(verdict, Solvability::Unsolvable);
+        let cert = cert.expect("decided verdicts carry a certificate");
+        assert!(matches!(
+            cert.verdict,
+            ksa_cert::SolvVerdict::Exhausted { .. }
+        ));
+        ksa_cert::check_solvability(&cert).unwrap();
+
+        // The certified wrapper must not perturb the plain verdict.
+        let table = NoGoodTable::new();
+        let (plain, _) = decide_one_round_with_table(&m, 3, 3, EXECS, NODES, &table).unwrap();
+        let table = NoGoodTable::new();
+        let (wrapped, _, _) =
+            decide_one_round_with_table_certified(&m, 3, 3, EXECS, NODES, &table, EXECS, "x")
+                .unwrap();
+        assert_eq!(plain, wrapped);
     }
 
     #[test]

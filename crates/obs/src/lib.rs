@@ -92,11 +92,17 @@ pub enum Counter {
     CheckerExecutions,
     /// Graph-layer domination/covering queries answered.
     DominationQueries,
+    /// Machine-checkable certificates produced by `*_certified`
+    /// producers (one per verdict, regardless of schedule).
+    CertsEmitted,
+    /// Certificates re-verified by the standalone `ksa-cert` checkers
+    /// (one per check call, accept or reject).
+    CertsChecked,
 }
 
 impl Counter {
     /// All counters, in presentation order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 20] = [
         Counter::FacetsEnumerated,
         Counter::FacesClosed,
         Counter::ViewsInterned,
@@ -115,6 +121,8 @@ impl Counter {
         Counter::RegistryMaterializations,
         Counter::CheckerExecutions,
         Counter::DominationQueries,
+        Counter::CertsEmitted,
+        Counter::CertsChecked,
     ];
 
     /// Stable snake_case name (JSON keys, report labels).
@@ -138,6 +146,8 @@ impl Counter {
             Counter::RegistryMaterializations => "registry_materializations",
             Counter::CheckerExecutions => "checker_executions",
             Counter::DominationQueries => "domination_queries",
+            Counter::CertsEmitted => "certs_emitted",
+            Counter::CertsChecked => "certs_checked",
         }
     }
 }

@@ -174,6 +174,45 @@ impl Echelon {
     }
 }
 
+/// Echelon reduction that additionally records, for every basis row,
+/// the set of original row indices whose XOR reproduces it — the rank
+/// witness carried by homology certificates (DESIGN.md §11). The
+/// standalone checker re-derives both rank bounds from this: distinct
+/// leading columns give independence (rank ≥ r), re-reducing every
+/// original row to zero gives the ceiling (rank ≤ r), and the recorded
+/// combinations prove each basis row lies in the row space.
+#[derive(Debug, Clone, Default)]
+struct WitnessEchelon {
+    ech: Echelon,
+    /// `combos[i]`: ascending original-row indices XOR-summing to
+    /// `ech.rows[i]`.
+    combos: Vec<Vec<u32>>,
+}
+
+impl WitnessEchelon {
+    /// Absorbs the `idx`-th original row, tracking its combination.
+    fn absorb(&mut self, mut row: Vec<u32>, idx: u32) {
+        let mut combo = vec![idx];
+        loop {
+            let Some(&lead) = row.first() else {
+                return;
+            };
+            if self.ech.pivot_of.len() <= lead as usize {
+                self.ech.pivot_of.resize(lead as usize + 1, u32::MAX);
+            }
+            let p = self.ech.pivot_of[lead as usize];
+            if p == u32::MAX {
+                self.ech.pivot_of[lead as usize] = self.ech.rows.len() as u32;
+                self.ech.rows.push(row);
+                self.combos.push(combo);
+                return;
+            }
+            row = symm_diff(&row, &self.ech.rows[p as usize]);
+            combo = symm_diff(&combo, &self.combos[p as usize]);
+        }
+    }
+}
+
 /// The symmetric difference of two ascending id lists (GF(2) row XOR).
 fn symm_diff(a: &[u32], b: &[u32]) -> Vec<u32> {
     let mut out = Vec::with_capacity(a.len() + b.len());
@@ -353,6 +392,29 @@ impl ChainComplex {
         ech.rank()
     }
 
+    /// Reduces `∂_k` like [`ChainComplex::compute_rank`] while
+    /// recording the rank witness for certification. Absorption runs in
+    /// canonical arena order, so the witness is schedule-invariant.
+    fn compute_rank_witnessed(&self, k: usize) -> ksa_cert::RankWitness {
+        // Same span name as the plain reduction — the trace contract
+        // names `rank_reduce` as *the* rank-reduction span; the
+        // `witnessed` arg distinguishes the certified producer.
+        let _span = ksa_obs::span("chain", || "rank_reduce")
+            .arg("dim", k as u64)
+            .arg("witnessed", 1);
+        let mut ech = WitnessEchelon::default();
+        for (i, row) in self.boundary_rows(k).into_iter().enumerate() {
+            ech.absorb(row, i as u32);
+        }
+        ksa_obs::count(Counter::RanksComputed, 1);
+        ksa_cert::RankWitness {
+            k: k as u32,
+            rank: ech.ech.rank() as u32,
+            basis: ech.ech.rows,
+            combo: ech.combos,
+        }
+    }
+
     /// The cached rank of `∂_k`, reducing it on first use.
     fn rank_boundary(&mut self, k: usize) -> usize {
         if let Some(r) = self.ranks[k] {
@@ -488,6 +550,76 @@ impl ChainComplex {
             })
             .collect()
     }
+}
+
+/// Certified reduced Betti computation: the Betti vector of `complex`
+/// (identical to [`ChainComplex::reduced_betti`] — same engine, same
+/// canonical absorption order) together with a [`ksa_cert::HomologyCert`]
+/// whose standalone checker re-derives every rank bound from the facet
+/// list alone (DESIGN.md §11). The certificate's connectivity field
+/// uses the cross-check convention: first nonzero reduced Betti index
+/// minus one, or the dimension when the whole table vanishes.
+///
+/// Returns `None` for the void complex (nothing to certify).
+///
+/// With the `parallel` feature the per-dimension witnessed reductions
+/// fan out on `ksa-exec`; each dimension absorbs sequentially, so the
+/// witness — and therefore the certificate — is schedule-invariant.
+pub fn reduced_betti_certified<V: View>(
+    complex: &Complex<V>,
+    label: &str,
+) -> Option<(Vec<usize>, ksa_cert::HomologyCert)> {
+    let mut cc = ChainComplex::from_complex(complex);
+    if cc.is_void() {
+        return None;
+    }
+    let dim = cc.arenas.len() - 1;
+    // Interned facets, exactly as `from_complex` interns vertices.
+    let verts: Vec<Vertex<V>> = complex.vertices();
+    let facet_ids: Vec<Vec<u32>> = complex
+        .facets()
+        .map(|f| {
+            let mut ids: Vec<u32> = f
+                .vertices()
+                .iter()
+                .map(|v| verts.binary_search(v).expect("facet vertex is interned") as u32)
+                .collect();
+            ids.sort_unstable();
+            ids
+        })
+        .collect();
+    let dims: Vec<usize> = (1..=dim).collect();
+    let witnesses: Vec<ksa_cert::RankWitness>;
+    #[cfg(feature = "parallel")]
+    {
+        let this: &ChainComplex = &cc;
+        witnesses = dims
+            .par_iter()
+            .map(|&k| this.compute_rank_witnessed(k))
+            .collect();
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        witnesses = dims.iter().map(|&k| cc.compute_rank_witnessed(k)).collect();
+    }
+    for w in &witnesses {
+        cc.ranks[w.k as usize] = Some(w.rank as usize);
+    }
+    let betti = cc.reduced_betti();
+    let connectivity = betti
+        .iter()
+        .position(|&b| b != 0)
+        .map(|k| k as i64 - 1)
+        .unwrap_or(dim as i64);
+    ksa_obs::count(Counter::CertsEmitted, 1);
+    let cert = ksa_cert::HomologyCert {
+        label: label.to_string(),
+        facets: facet_ids,
+        betti: betti.iter().map(|&b| b as u64).collect(),
+        connectivity,
+        ranks: witnesses,
+    };
+    Some((betti, cert))
 }
 
 /// The per-dimension subset chunks one facet contributes to the closure.
@@ -802,6 +934,38 @@ mod tests {
                 "{c:?}"
             );
         }
+    }
+
+    #[test]
+    fn certified_betti_matches_and_checks() {
+        let tet = simplex(&[0, 1, 2, 3]);
+        for (complex, label) in [
+            (Complex::boundary_of(&tet), "sphere"),
+            (Complex::of_simplex(tet.clone()), "ball"),
+            (
+                Complex::from_facets(vec![simplex(&[0, 1]), simplex(&[0, 2]), simplex(&[1, 2])]),
+                "circle",
+            ),
+            (
+                Complex::from_facets(vec![simplex(&[0]), simplex(&[1]), simplex(&[2])]),
+                "three-points",
+            ),
+        ] {
+            let (betti, cert) = reduced_betti_certified(&complex, label).unwrap();
+            assert_eq!(
+                betti,
+                ChainComplex::from_complex(&complex).reduced_betti(),
+                "{label}"
+            );
+            assert_eq!(ksa_cert::check_homology(&cert), Ok(()), "{label}");
+            let wrapped = ksa_cert::Cert::Homology(cert);
+            assert_eq!(
+                ksa_cert::Cert::parse(&wrapped.to_text()).unwrap(),
+                wrapped,
+                "{label}"
+            );
+        }
+        assert!(reduced_betti_certified(&Complex::<u32>::void(), "void").is_none());
     }
 
     #[test]

@@ -11,6 +11,30 @@
 //! shellability by memoized search over facet subsets (exact, exponential:
 //! fine for the ≤ 20-facet complexes in the paper's figures and our
 //! experiments).
+//!
+//! # The racing portfolio (DESIGN.md §11)
+//!
+//! With the `parallel` feature, [`find_shelling_order`] races three
+//! facet-ordering heuristics (canonical index order, descending
+//! `(d−1)`-ridge degree, descending intersection count) as work-stealing
+//! DFS tasks on the `ksa-exec` pool, sharing a [`ksa_exec::ShardedSet`]
+//! of proved-dead facet subsets and cancelling on first success —
+//! the same shape as the solvability CSP portfolio (DESIGN.md §10.2).
+//! Whether an order exists is intrinsic to the complex and every
+//! strategy's search is complete, so the *verdict* is bit-identical at
+//! any `KSA_THREADS`; the winning *witness order* may legitimately
+//! differ across schedules (any witness re-verifies through
+//! [`is_shelling_order`] and the `ksa-cert` checker). The memoized
+//! sequential search stays available as [`find_shelling_order_seq`],
+//! the pinned oracle of the determinism contract (DESIGN.md §4): the
+//! canonical strategy is spawned last, so a lone worker pops it first
+//! (LIFO) and explores exactly the oracle's node order.
+//!
+//! Dead-subset publication follows the monotone no-good contract
+//! (DESIGN.md §10.3): a subtree publishes its used-set only after a
+//! *complete, unaborted* exploration proved no extension shells — never
+//! on cancellation — so every table entry is an instance fact, valid
+//! for every strategy.
 
 use crate::complex::Complex;
 use crate::error::TopologyError;
@@ -66,35 +90,29 @@ pub fn is_shelling_order<V: View>(order: &[Simplex<V>]) -> Result<bool, Topology
     Ok(true)
 }
 
-/// Searches for a shelling order of a pure complex. Returns `None` when the
-/// complex is not shellable.
-///
-/// Memoized subset search: `O(2^r · r²)` pair checks for `r` facets
-/// (`r ≤ 63` enforced).
-///
-/// # Errors
-///
-/// [`TopologyError::EmptyComplex`] / [`TopologyError::NotPure`] as in
-/// [`is_shelling_order`]; [`TopologyError::TooLarge`] beyond 63 facets.
-pub fn find_shelling_order<V: View>(
-    complex: &Complex<V>,
-) -> Result<Option<Vec<Simplex<V>>>, TopologyError> {
+/// Validates the complex and collects its facets for a shellability
+/// search (`r ≤ 63` enforced for the `u64` used-set bitmask).
+fn search_facets<V: View>(complex: &Complex<V>) -> Result<Vec<Simplex<V>>, TopologyError> {
     complex.require_pure()?;
     let facets: Vec<Simplex<V>> = complex.facets().cloned().collect();
-    let r = facets.len();
-    if r > 63 {
+    if facets.len() > 63 {
         return Err(TopologyError::TooLarge {
             what: "facets for shellability search",
-            estimated: r as u128,
+            estimated: facets.len() as u128,
             limit: 63,
         });
     }
-    if r == 1 {
-        return Ok(Some(facets));
-    }
-    // step_ok depends only on (used-set, next); precompute pairwise
-    // (d−1)-intersection structure lazily through step_ok on slices.
-    // Memoized DFS over used-sets.
+    Ok(facets)
+}
+
+/// Sequential memoized subset search. Returns the picked facet indices
+/// (or `None`) plus the number of dead used-sets recorded — the
+/// exhaustion statistic carried by negative certificates.
+fn search_seq<V: View>(facets: &[Simplex<V>]) -> (Option<Vec<usize>>, u64) {
+    let r = facets.len();
+    // step_ok depends only on (used-set, next); `false` is cached per
+    // used-set, `true` is never cached for incomplete states (we return
+    // on first success).
     let mut memo: HashMap<u64, bool> = HashMap::new();
     fn dfs<V: View>(
         facets: &[Simplex<V>],
@@ -110,8 +128,6 @@ pub fn find_shelling_order<V: View>(
             if !ok {
                 return false;
             }
-            // `true` is never cached for incomplete states (we return on
-            // first success), so reaching here means unknown.
         }
         let prior: Vec<Simplex<V>> = picked.iter().map(|&i| facets[i].clone()).collect();
         for next in 0..r {
@@ -133,13 +149,250 @@ pub fn find_shelling_order<V: View>(
     // Any facet can start.
     for start in 0..r {
         let mut picked = vec![start];
-        if dfs(&facets, 1u64 << start, &mut picked, &mut memo) {
-            return Ok(Some(
-                picked.into_iter().map(|i| facets[i].clone()).collect(),
-            ));
+        if dfs(facets, 1u64 << start, &mut picked, &mut memo) {
+            return (Some(picked), memo.len() as u64);
         }
     }
-    Ok(None)
+    (None, memo.len() as u64)
+}
+
+#[cfg(feature = "parallel")]
+mod portfolio {
+    //! The racing shelling portfolio (module docs above; mirrors the
+    //! solvability CSP portfolio of DESIGN.md §10.2).
+
+    use super::{step_ok, Simplex, View};
+    use ksa_exec::ShardedSet;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    enum Search {
+        Found,
+        Dead,
+        Aborted,
+    }
+
+    /// DFS over facet subsets trying candidates in `ord`'s priority.
+    /// Publishes `used` into the shared dead table only after a
+    /// complete, unaborted exploration (the monotone contract).
+    fn dfs<V: View>(
+        facets: &[Simplex<V>],
+        ord: &[usize],
+        used: u64,
+        picked: &mut Vec<usize>,
+        dead: &ShardedSet<u64>,
+        cancel: &AtomicBool,
+    ) -> Search {
+        if picked.len() == facets.len() {
+            return Search::Found;
+        }
+        if cancel.load(Ordering::Relaxed) {
+            return Search::Aborted;
+        }
+        if dead.contains(&used) {
+            ksa_obs::perf_count(ksa_obs::PerfCounter::NoGoodHits, 1);
+            return Search::Dead;
+        }
+        ksa_obs::perf_count(ksa_obs::PerfCounter::PortfolioNodes, 1);
+        let prior: Vec<Simplex<V>> = picked.iter().map(|&i| facets[i].clone()).collect();
+        for &next in ord {
+            if used >> next & 1 == 1 {
+                continue;
+            }
+            if step_ok(&prior, &facets[next]) {
+                picked.push(next);
+                match dfs(facets, ord, used | (1 << next), picked, dead, cancel) {
+                    Search::Found => return Search::Found,
+                    Search::Dead => {
+                        picked.pop();
+                    }
+                    Search::Aborted => {
+                        picked.pop();
+                        return Search::Aborted;
+                    }
+                }
+            }
+        }
+        // Every extension was explored to a proved-dead end (no aborts
+        // on this path), so `used` is dead for *every* strategy — safe
+        // to publish even if a cancellation just arrived.
+        if dead.insert(used) {
+            ksa_obs::perf_count(ksa_obs::PerfCounter::NoGoodInserts, 1);
+        }
+        Search::Dead
+    }
+
+    /// One strategy: try every start facet in `ord`'s priority.
+    /// `None` means the race was cancelled before this strategy could
+    /// finish; `Some(verdict)` is a complete search result.
+    fn run_strategy<V: View>(
+        facets: &[Simplex<V>],
+        ord: &[usize],
+        dead: &ShardedSet<u64>,
+        cancel: &AtomicBool,
+    ) -> Option<Option<Vec<usize>>> {
+        for &start in ord {
+            if cancel.load(Ordering::Relaxed) {
+                return None;
+            }
+            let mut picked = vec![start];
+            match dfs(facets, ord, 1u64 << start, &mut picked, dead, cancel) {
+                Search::Found => return Some(Some(picked)),
+                Search::Dead => {}
+                Search::Aborted => return None,
+            }
+        }
+        Some(None)
+    }
+
+    /// Index order sorted by descending score, ties by ascending index.
+    fn by_desc_score(scores: &[usize]) -> Vec<usize> {
+        let mut ord: Vec<usize> = (0..scores.len()).collect();
+        ord.sort_by_key(|&i| (std::cmp::Reverse(scores[i]), i));
+        ord
+    }
+
+    /// Race the ordering heuristics; first complete search wins and
+    /// cancels the rest. Returns the winning verdict plus the shared
+    /// dead-table size (the exhaustion statistic for certificates).
+    pub(super) fn search<V: View>(facets: &[Simplex<V>]) -> (Option<Vec<usize>>, u64) {
+        let r = facets.len();
+        let width = facets[0].len();
+        // Pairwise intersection sizes drive both heuristics: ridge
+        // degree counts (d−1)-intersections, touch counts nonempty ones.
+        let mut inter_len = vec![0usize; r * r];
+        for i in 0..r {
+            for j in (i + 1)..r {
+                let l = facets[i].intersection(&facets[j]).len();
+                inter_len[i * r + j] = l;
+                inter_len[j * r + i] = l;
+            }
+        }
+        let ridge: Vec<usize> = (0..r)
+            .map(|i| {
+                (0..r)
+                    .filter(|&j| j != i && inter_len[i * r + j] == width - 1)
+                    .count()
+            })
+            .collect();
+        let touch: Vec<usize> = (0..r)
+            .map(|i| {
+                (0..r)
+                    .filter(|&j| j != i && inter_len[i * r + j] > 0)
+                    .count()
+            })
+            .collect();
+        let canonical: Vec<usize> = (0..r).collect();
+        let mut alternates = vec![by_desc_score(&ridge), by_desc_score(&touch)];
+        alternates.dedup();
+        alternates.retain(|ord| *ord != canonical);
+
+        let dead: ShardedSet<u64> = ShardedSet::new();
+        let cancel = AtomicBool::new(false);
+        let winner: Mutex<Option<Option<Vec<usize>>>> = Mutex::new(None);
+        let report = |verdict: Option<Vec<usize>>| -> bool {
+            let mut slot = winner.lock().unwrap_or_else(|p| p.into_inner());
+            if slot.is_none() {
+                *slot = Some(verdict);
+                cancel.store(true, Ordering::SeqCst);
+                true
+            } else {
+                false
+            }
+        };
+
+        ksa_exec::scope(|s| {
+            for ord in &alternates {
+                let (dead, cancel, report) = (&dead, &cancel, &report);
+                s.spawn(move |_| {
+                    if let Some(verdict) = run_strategy(facets, ord, dead, cancel) {
+                        if report(verdict) {
+                            ksa_obs::perf_count(ksa_obs::PerfCounter::PortfolioAlternateWins, 1);
+                        }
+                    }
+                });
+            }
+            // Canonical last: scope workers pop LIFO, so a lone worker
+            // runs it first and walks exactly the sequential oracle's
+            // node order (bit-reproducible single-thread behavior).
+            {
+                let (canonical, dead, cancel, report) = (&canonical, &dead, &cancel, &report);
+                s.spawn(move |_| {
+                    if let Some(verdict) = run_strategy(facets, canonical, dead, cancel) {
+                        if report(verdict) {
+                            ksa_obs::perf_count(ksa_obs::PerfCounter::PortfolioCanonicalWins, 1);
+                        }
+                    }
+                });
+            }
+        });
+
+        let states = dead.len() as u64;
+        match winner.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            Some(verdict) => (verdict, states),
+            // Unreachable — cancellation implies a reported winner — but
+            // fall back to the oracle rather than panic.
+            None => super::search_seq(facets),
+        }
+    }
+}
+
+/// Decides shellability: picked facet indices (or `None`) plus the
+/// dead-state count, dispatching to the portfolio when available.
+fn search<V: View>(facets: &[Simplex<V>]) -> (Option<Vec<usize>>, u64) {
+    #[cfg(feature = "parallel")]
+    {
+        portfolio::search(facets)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        search_seq(facets)
+    }
+}
+
+/// Searches for a shelling order of a pure complex. Returns `None` when the
+/// complex is not shellable.
+///
+/// With the `parallel` feature this races the ordering-heuristic
+/// portfolio on the `ksa-exec` pool (see the module docs); the verdict
+/// (`Some` vs `None`) is bit-identical to [`find_shelling_order_seq`]
+/// at any `KSA_THREADS`, while the witness order may differ across
+/// schedules (any witness passes [`is_shelling_order`]).
+///
+/// # Errors
+///
+/// [`TopologyError::EmptyComplex`] / [`TopologyError::NotPure`] as in
+/// [`is_shelling_order`]; [`TopologyError::TooLarge`] beyond 63 facets.
+pub fn find_shelling_order<V: View>(
+    complex: &Complex<V>,
+) -> Result<Option<Vec<Simplex<V>>>, TopologyError> {
+    let facets = search_facets(complex)?;
+    if facets.len() == 1 {
+        return Ok(Some(facets));
+    }
+    let (picked, _states) = search(&facets);
+    Ok(picked.map(|p| p.into_iter().map(|i| facets[i].clone()).collect()))
+}
+
+/// The sequential memoized search, kept verbatim as the pinned oracle
+/// of the determinism contract (DESIGN.md §4): portfolio verdicts are
+/// proptest-pinned bit-identical to this at pool sizes 1/2/8
+/// (`crates/topology/tests/shelling_portfolio.rs`).
+///
+/// Memoized subset search: `O(2^r · r²)` pair checks for `r` facets.
+///
+/// # Errors
+///
+/// Same conditions as [`find_shelling_order`].
+pub fn find_shelling_order_seq<V: View>(
+    complex: &Complex<V>,
+) -> Result<Option<Vec<Simplex<V>>>, TopologyError> {
+    let facets = search_facets(complex)?;
+    if facets.len() == 1 {
+        return Ok(Some(facets));
+    }
+    let (picked, _states) = search_seq(&facets);
+    Ok(picked.map(|p| p.into_iter().map(|i| facets[i].clone()).collect()))
 }
 
 /// Whether a pure complex is shellable.
@@ -149,6 +402,61 @@ pub fn find_shelling_order<V: View>(
 /// Same conditions as [`find_shelling_order`].
 pub fn is_shellable<V: View>(complex: &Complex<V>) -> Result<bool, TopologyError> {
     Ok(find_shelling_order(complex)?.is_some())
+}
+
+/// Decides shellability and emits a [`ksa_cert::ShellingCert`] for the
+/// verdict: the witness order for a shellable complex, the exhaustion
+/// statistics otherwise. Vertices are interned to `u32` by their rank
+/// in the complex's sorted vertex list; the standalone checker
+/// re-verifies the verdict from the certificate alone (DESIGN.md §11).
+///
+/// # Errors
+///
+/// Same conditions as [`find_shelling_order`].
+pub fn is_shellable_certified<V: View>(
+    complex: &Complex<V>,
+    label: &str,
+) -> Result<(bool, ksa_cert::ShellingCert), TopologyError> {
+    let facets = search_facets(complex)?;
+    let verts = complex.vertices();
+    let interned: Vec<Vec<u32>> = facets
+        .iter()
+        .map(|f| {
+            let mut ids: Vec<u32> = f
+                .vertices()
+                .iter()
+                .map(|v| {
+                    verts
+                        .binary_search(v)
+                        .expect("facet vertex is in the complex's vertex list")
+                        as u32
+                })
+                .collect();
+            ids.sort_unstable();
+            ids
+        })
+        .collect();
+    let (picked, states) = if facets.len() == 1 {
+        (Some(vec![0]), 0)
+    } else {
+        search(&facets)
+    };
+    let (shellable, verdict) = match picked {
+        Some(p) => (
+            true,
+            ksa_cert::ShellingVerdict::Order(p.into_iter().map(|i| i as u32).collect()),
+        ),
+        None => (false, ksa_cert::ShellingVerdict::Exhausted { states }),
+    };
+    ksa_obs::count(ksa_obs::Counter::CertsEmitted, 1);
+    Ok((
+        shellable,
+        ksa_cert::ShellingCert {
+            label: label.to_string(),
+            facets: interned,
+            verdict,
+        },
+    ))
 }
 
 /// Lemma 4.15 sanity helper: for a pure `(d−1)`-dimensional subcomplex of
@@ -355,6 +663,80 @@ mod tests {
         let vertex_of_edge = simplex(&[1, 6, 7]);
         let new = simplex(&[0, 1, 2]);
         assert!(step_ok(&[edge_glue, vertex_of_edge], &new));
+    }
+
+    // ------------------------------------------------------------------
+    // Search-level edge cases: the degenerate complexes the figures
+    // never exercise.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn empty_complex_is_rejected_everywhere() {
+        let c: Complex<u32> = Complex::void();
+        assert_eq!(find_shelling_order(&c), Err(TopologyError::EmptyComplex));
+        assert_eq!(
+            find_shelling_order_seq(&c),
+            Err(TopologyError::EmptyComplex)
+        );
+        assert_eq!(is_shellable(&c), Err(TopologyError::EmptyComplex));
+        assert_eq!(every_order_shells(&c), Err(TopologyError::EmptyComplex));
+        assert!(is_shellable_certified(&c, "void").is_err());
+    }
+
+    #[test]
+    fn single_facet_order_is_the_facet() {
+        let c = Complex::of_simplex(simplex(&[0, 1, 2]));
+        let order = find_shelling_order(&c).unwrap().unwrap();
+        assert_eq!(order, vec![simplex(&[0, 1, 2])]);
+        assert_eq!(find_shelling_order_seq(&c).unwrap().unwrap(), order);
+        let (shellable, cert) = is_shellable_certified(&c, "single").unwrap();
+        assert!(shellable);
+        assert_eq!(ksa_cert::check_shelling(&cert), Ok(()));
+    }
+
+    #[test]
+    fn zero_dimensional_complexes() {
+        // One vertex: shellable (trivially). Two isolated vertices: the
+        // step condition has nothing to glue — not shellable.
+        let point = Complex::of_simplex(simplex(&[0]));
+        assert!(is_shellable(&point).unwrap());
+        let two = Complex::from_facets(vec![simplex(&[0]), simplex(&[1])]);
+        assert!(!is_shellable(&two).unwrap());
+        assert!(find_shelling_order(&two).unwrap().is_none());
+        assert!(find_shelling_order_seq(&two).unwrap().is_none());
+        let (shellable, cert) = is_shellable_certified(&two, "two-points").unwrap();
+        assert!(!shellable);
+        assert_eq!(ksa_cert::check_shelling(&cert), Ok(()));
+    }
+
+    #[test]
+    fn pinned_counterexample_some_but_not_all_orders_shell() {
+        // The path of three edges shells in path order but not when the
+        // two end edges come first: [01], [23] are disjoint at step 2.
+        let e01 = simplex(&[0, 1]);
+        let e12 = simplex(&[1, 2]);
+        let e23 = simplex(&[2, 3]);
+        let c = Complex::from_facets(vec![e01.clone(), e12.clone(), e23.clone()]);
+        assert!(is_shellable(&c).unwrap());
+        assert!(is_shelling_order(&[e01.clone(), e12.clone(), e23.clone()]).unwrap());
+        assert!(!is_shelling_order(&[e01, e23, e12]).unwrap());
+        assert!(!every_order_shells(&c).unwrap());
+    }
+
+    #[test]
+    fn certified_verdicts_round_trip_and_check() {
+        for (facets, label) in [
+            (vec![simplex(&[0, 1, 2]), simplex(&[0, 2, 3])], "fig4a"),
+            (vec![simplex(&[0, 1, 2]), simplex(&[2, 3, 4])], "fig4b"),
+        ] {
+            let c = Complex::from_facets(facets);
+            let (shellable, cert) = is_shellable_certified(&c, label).unwrap();
+            assert_eq!(shellable, is_shellable(&c).unwrap(), "{label}");
+            assert_eq!(ksa_cert::check_shelling(&cert), Ok(()), "{label}");
+            let wrapped = ksa_cert::Cert::Shelling(cert);
+            let parsed = ksa_cert::Cert::parse(&wrapped.to_text()).unwrap();
+            assert_eq!(parsed, wrapped, "{label}");
+        }
     }
 
     #[test]

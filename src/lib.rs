@@ -13,6 +13,7 @@
 //! | topology | [`topology`] | simplicial complexes, pseudospheres, homology, protocol complexes |
 //! | models | [`models`] | oblivious / closed-above models, the model zoo, adversaries |
 //! | core | [`core`] | every theorem of the paper as an executable bound + the algorithms |
+//! | cert | [`cert`] | machine-checkable certificates + standalone checkers for every verdict |
 //! | runtime | [`runtime`] | round-based execution, exhaustive checking, Monte-Carlo |
 //!
 //! ## Quickstart
@@ -37,6 +38,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub use ksa_cert as cert;
 pub use ksa_core as core;
 #[cfg(feature = "parallel")]
 pub use ksa_exec as exec;
@@ -47,7 +49,7 @@ pub use ksa_topology as topology;
 
 /// The most common imports, for examples and downstream quickstarts.
 pub mod prelude {
-    pub use crate::{core, graphs, models, runtime, topology};
+    pub use crate::{cert, core, graphs, models, runtime, topology};
     pub use ksa_core::algorithms::{MinOfAll, MinOfDominatingSet, ObliviousAlgorithm};
     pub use ksa_core::bounds::report::BoundsReport;
     pub use ksa_core::task::{KSetTask, Value};
