@@ -21,7 +21,7 @@
 
 use crate::bounds::lower::best_lower_bound;
 use crate::bounds::LowerBound;
-use crate::budget::RunBudget;
+use crate::budget::{CancelToken, RunBudget};
 use crate::error::CoreError;
 use crate::task::input_complex;
 use ksa_models::ClosedAboveModel;
@@ -122,15 +122,58 @@ pub fn cross_check_round_sweep(
     rounds: usize,
     budget: impl Into<RunBudget>,
 ) -> Result<RoundSweepReport, CoreError> {
-    let budget = budget.into();
+    round_sweep_impl(model, value_max, rounds, budget.into(), None)
+}
+
+/// [`cross_check_round_sweep`] with a cooperative [`CancelToken`]: the
+/// token is polled per round in the complex construction and per rank
+/// reduction in the homology sweep — the two places the pipeline spends
+/// its time — and a fired token surfaces as [`CoreError::Cancelled`] /
+/// [`CoreError::DeadlineExceeded`]. A token that never fires leaves the
+/// report bit-identical to [`cross_check_round_sweep`] at any
+/// `KSA_THREADS`.
+///
+/// # Errors
+///
+/// Same conditions as [`cross_check_round_sweep`], plus the two token
+/// variants.
+pub fn cross_check_round_sweep_cancellable(
+    model: &ClosedAboveModel,
+    value_max: usize,
+    rounds: usize,
+    budget: impl Into<RunBudget>,
+    cancel: &CancelToken,
+) -> Result<RoundSweepReport, CoreError> {
+    round_sweep_impl(model, value_max, rounds, budget.into(), Some(cancel))
+}
+
+fn round_sweep_impl(
+    model: &ClosedAboveModel,
+    value_max: usize,
+    rounds: usize,
+    budget: RunBudget,
+    cancel: Option<&CancelToken>,
+) -> Result<RoundSweepReport, CoreError> {
     let n = ksa_models::ObliviousModel::n(model);
     let input = input_complex(n, value_max, budget.max_executions)?;
-    let rc = protocol_complex_rounds(model.generators(), &input, rounds, budget)?;
+    let rc = match cancel {
+        Some(token) => ksa_topology::rounds::protocol_complex_rounds_cancellable(
+            model.generators(),
+            &input,
+            rounds,
+            budget,
+            token,
+        )?,
+        None => protocol_complex_rounds(model.generators(), &input, rounds, budget)?,
+    };
     // One chain-engine sweep over all rounds: each round's Betti numbers
     // and connectivity share a single closure/rank pass, and reduced row
     // bases carry over between rounds whenever the complexes embed
     // (DESIGN.md §7.3).
-    let homology = rc.homology_sweep();
+    let homology = match cancel {
+        Some(token) => rc.homology_sweep_cancellable(token)?,
+        None => rc.homology_sweep(),
+    };
     let mut per_round = Vec::with_capacity(rounds);
     for (r, step) in (1..=rounds).zip(homology) {
         let complex = rc.complex_at(r).expect("round was materialized");
@@ -251,6 +294,33 @@ pub fn cross_check_round_sweep_by_name(
     cross_check_round_sweep(model, value_max, rounds, budget)
 }
 
+/// [`cross_check_round_sweep_by_name`] with a cooperative
+/// [`CancelToken`] (see [`cross_check_round_sweep_cancellable`]) — the
+/// entry point the analysis server's `rounds` query drives, so client
+/// deadlines reach every stage of the pipeline.
+///
+/// # Errors
+///
+/// Same conditions as [`cross_check_round_sweep_by_name`], plus the two
+/// token variants.
+pub fn cross_check_round_sweep_by_name_cancellable(
+    name: &str,
+    value_max: usize,
+    rounds: usize,
+    budget: impl Into<RunBudget>,
+    cancel: &CancelToken,
+) -> Result<RoundSweepReport, CoreError> {
+    let budget = budget.into();
+    cancel.checkpoint()?;
+    let resolved = ksa_models::registry::builtin().resolve(name, budget)?;
+    let model = resolved
+        .as_closed_above()
+        .ok_or_else(|| ksa_models::ModelError::Spec {
+            message: format!("{name} is not closed-above; the round sweep needs generators"),
+        })?;
+    round_sweep_impl(model, value_max, rounds, budget, Some(cancel))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +335,39 @@ mod tests {
         assert!(cross_check_round_sweep_by_name("no such model", 1, 1, 1_000u128).is_err());
         // Explicit models are rejected with a model error, not a panic.
         assert!(cross_check_round_sweep_by_name("nonsplit{n=3}", 1, 1, 1_000_000u128).is_err());
+    }
+
+    #[test]
+    fn silent_token_matches_plain_sweep() {
+        let model = named::simple_ring(3).unwrap();
+        let plain = cross_check_round_sweep(&model, 1, 2, 1_000_000u128).unwrap();
+        let token = CancelToken::new();
+        let cancellable =
+            cross_check_round_sweep_cancellable(&model, 1, 2, 1_000_000u128, &token).unwrap();
+        assert_eq!(plain, cancellable);
+        let by_name =
+            cross_check_round_sweep_by_name_cancellable("ring{n=3}", 1, 2, 1_000_000u128, &token)
+                .unwrap();
+        assert_eq!(plain, by_name);
+    }
+
+    #[test]
+    fn fired_token_interrupts_the_sweep() {
+        let token = CancelToken::new();
+        token.cancel();
+        let err = cross_check_round_sweep_cancellable(
+            &named::simple_ring(3).unwrap(),
+            1,
+            2,
+            1_000_000u128,
+            &token,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Cancelled));
+        let err =
+            cross_check_round_sweep_by_name_cancellable("ring{n=3}", 1, 2, 1_000_000u128, &token)
+                .unwrap_err();
+        assert!(matches!(err, CoreError::Cancelled));
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Explicit exploration budgets — re-exported from [`ksa_graphs::budget`].
+//! Explicit exploration budgets, cancellation and deadlines —
+//! re-exported from [`ksa_graphs::budget`] and [`ksa_graphs::cancel`].
 //!
 //! [`RunBudget`] historically lived here (and before that in
 //! `ksa-runtime::checker`); it moved to the bottom of the workspace so
@@ -7,8 +8,17 @@
 //! `ksa-topology`, not the reverse). This module keeps the old paths
 //! compiling: `ksa_core::budget::RunBudget` is the same type as
 //! `ksa_graphs::budget::RunBudget`.
+//!
+//! [`CancelToken`] and [`Deadline`] live next to the budget for the same
+//! reason: every long-running search (the CSP k-sweep, the rounds/chain
+//! pipeline, the shelling portfolio) polls the same token type, and the
+//! graphs crate is the one layer all of them can see. A budget bounds
+//! *how much* a computation may do; a token decides *whether it may keep
+//! going* — both surface as dedicated [`CoreError`](crate::CoreError)
+//! variants rather than sentinel verdicts.
 
 pub use ksa_graphs::budget::{BudgetExceeded, RunBudget};
+pub use ksa_graphs::cancel::{CancelToken, Deadline, Interrupted};
 
 #[cfg(test)]
 mod tests {

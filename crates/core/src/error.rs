@@ -27,6 +27,11 @@ pub enum CoreError {
     },
     /// An exhaustive procedure would exceed its explicit budget.
     Budget(crate::budget::BudgetExceeded),
+    /// The computation's [`CancelToken`](crate::budget::CancelToken)
+    /// was cancelled before it finished.
+    Cancelled,
+    /// The computation ran past its [`Deadline`](crate::budget::Deadline).
+    DeadlineExceeded,
 }
 
 impl fmt::Display for CoreError {
@@ -44,6 +49,10 @@ impl fmt::Display for CoreError {
                 domain,
             } => write!(f, "parameter {name} = {value} outside {domain}"),
             CoreError::Budget(e) => write!(f, "budget error: {e}"),
+            CoreError::Cancelled => write!(f, "the operation was cancelled"),
+            CoreError::DeadlineExceeded => {
+                write!(f, "the operation ran past its deadline")
+            }
         }
     }
 }
@@ -68,7 +77,14 @@ impl From<ksa_graphs::GraphError> for CoreError {
 
 impl From<ksa_topology::TopologyError> for CoreError {
     fn from(e: ksa_topology::TopologyError) -> Self {
-        CoreError::Topology(e)
+        // Interruptions keep their identity across the layer boundary so
+        // callers match one pair of variants no matter which stage of the
+        // pipeline observed the fired token.
+        match e {
+            ksa_topology::TopologyError::Cancelled => CoreError::Cancelled,
+            ksa_topology::TopologyError::DeadlineExceeded => CoreError::DeadlineExceeded,
+            other => CoreError::Topology(other),
+        }
     }
 }
 
@@ -81,6 +97,15 @@ impl From<ksa_models::ModelError> for CoreError {
 impl From<crate::budget::BudgetExceeded> for CoreError {
     fn from(e: crate::budget::BudgetExceeded) -> Self {
         CoreError::Budget(e)
+    }
+}
+
+impl From<crate::budget::Interrupted> for CoreError {
+    fn from(i: crate::budget::Interrupted) -> Self {
+        match i {
+            crate::budget::Interrupted::Cancelled => CoreError::Cancelled,
+            crate::budget::Interrupted::DeadlineExceeded => CoreError::DeadlineExceeded,
+        }
     }
 }
 
@@ -100,11 +125,26 @@ mod tests {
             }
             .into(),
             CoreError::NotSimple,
+            CoreError::Cancelled,
+            CoreError::DeadlineExceeded,
         ];
         for e in &errs {
             assert!(!e.to_string().is_empty());
         }
         assert!(errs[0].source().is_some());
         assert!(errs[3].source().is_none());
+    }
+
+    #[test]
+    fn interrupted_maps_to_dedicated_variants() {
+        use crate::budget::Interrupted;
+        assert_eq!(
+            CoreError::from(Interrupted::Cancelled),
+            CoreError::Cancelled
+        );
+        assert_eq!(
+            CoreError::from(Interrupted::DeadlineExceeded),
+            CoreError::DeadlineExceeded
+        );
     }
 }

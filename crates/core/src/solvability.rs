@@ -59,7 +59,7 @@
 //! independent, non-topological check of Thm 5.4's impossibilities — see
 //! the `solv` experiment.
 
-use crate::budget::RunBudget;
+use crate::budget::{CancelToken, RunBudget};
 use crate::error::CoreError;
 use crate::task::Value;
 #[cfg(feature = "parallel")]
@@ -422,7 +422,31 @@ pub fn decide_one_round(
     exec_limit: usize,
     node_budget: usize,
 ) -> Result<Solvability, CoreError> {
+    decide_one_round_cancellable(model, k, value_max, exec_limit, node_budget, None)
+}
+
+/// [`decide_one_round`] with a cooperative [`CancelToken`]: the racing
+/// portfolio polls a *child* of `cancel` at every decision node, so an
+/// external cancellation (or deadline) stops all strategies and surfaces
+/// as [`CoreError::Cancelled`] / [`CoreError::DeadlineExceeded`] instead
+/// of a verdict. A token that never fires is side-effect-free: verdicts
+/// stay bit-identical to [`decide_one_round`] at any `KSA_THREADS`.
+///
+/// # Errors
+///
+/// Same conditions as [`decide_one_round`], plus the two token variants.
+pub fn decide_one_round_cancellable(
+    model: &ClosedAboveModel,
+    k: usize,
+    value_max: usize,
+    exec_limit: usize,
+    node_budget: usize,
+    cancel: Option<&CancelToken>,
+) -> Result<Solvability, CoreError> {
     validate_k(k)?;
+    if let Some(token) = cancel {
+        token.checkpoint()?;
+    }
     let n = model.n();
     let values = value_max as Value + 1;
     RunBudget::new(exec_limit as u128).admit(
@@ -434,14 +458,21 @@ pub fn decide_one_round(
     let merger = merge_all(n, values, exec_limit, |inputs: &[Value]| {
         one_round_enumerate_input(model, n, inputs)
     })?;
-    solve_csp(
+    let verdict = solve_csp(
         model.generators(),
         values,
         merger.views,
         merger.executions,
         k,
         node_budget,
-    )
+        cancel,
+    )?;
+    // A fired token degrades the search to `Unknown` (abandoned
+    // subtrees publish nothing); report the interruption instead.
+    if let Some(token) = cancel {
+        token.checkpoint()?;
+    }
+    Ok(verdict)
 }
 
 /// The sequential reference implementation of [`decide_one_round`]:
@@ -745,6 +776,7 @@ pub fn decide_rounds_explicit(
         merger.executions,
         k,
         node_budget,
+        None,
     )
 }
 
@@ -882,10 +914,16 @@ fn solve_csp(
     executions: Vec<Vec<u32>>,
     k: usize,
     node_budget: usize,
+    cancel: Option<&CancelToken>,
 ) -> Result<Solvability, CoreError> {
     let instance = CspInstance::new(views, executions, k);
     let _span = ksa_obs::span("core", || "csp_decide").arg("views", instance.views.len() as u64);
     if values > MAX_MASK_VALUES {
+        // The sequential fallback has no per-node poll point; honor the
+        // token at its boundary so a fired token still short-circuits.
+        if let Some(token) = cancel {
+            token.checkpoint()?;
+        }
         return solve_csp_seq(instance, node_budget);
     }
     let sym = CspSymmetry::detect(sym_graphs, &instance.views, values);
@@ -898,6 +936,7 @@ fn solve_csp(
             &sym,
             &table,
             node_budget,
+            cancel,
         ))
     }
     #[cfg(not(feature = "parallel"))]
@@ -906,7 +945,7 @@ fn solve_csp(
             &instance,
             &sym,
             &table,
-            None,
+            cancel,
             PrunedKnobs::CANONICAL,
             node_budget,
         );
@@ -1412,7 +1451,7 @@ struct PrunedCtx<'a> {
     csp: &'a CspInstance,
     sym: &'a CspSymmetry,
     table: &'a NoGoodTable,
-    cancel: Option<&'a std::sync::atomic::AtomicBool>,
+    cancel: Option<&'a CancelToken>,
     knobs: PrunedKnobs,
     budget: u64,
 }
@@ -1430,8 +1469,8 @@ fn pruned_dfs(
     decisions: &mut Vec<(u32, Value)>,
     stats: &mut SearchStats,
 ) -> PrunedOutcome {
-    if let Some(c) = ctx.cancel {
-        if c.load(std::sync::atomic::Ordering::Relaxed) {
+    if let Some(token) = ctx.cancel {
+        if token.is_cancelled() {
             return PrunedOutcome::Cancelled;
         }
     }
@@ -1490,7 +1529,7 @@ fn run_pruned_strategy(
     csp: &CspInstance,
     sym: &CspSymmetry,
     table: &NoGoodTable,
-    cancel: Option<&std::sync::atomic::AtomicBool>,
+    cancel: Option<&CancelToken>,
     knobs: PrunedKnobs,
     node_budget: usize,
 ) -> (PrunedOutcome, SearchStats) {
@@ -1546,6 +1585,12 @@ fn finish_pruned(instance: CspInstance, outcome: PrunedOutcome) -> Solvability {
 /// first and only then the alternates (which immediately observe the
 /// cancellation), while idle workers steal the alternates FIFO.
 ///
+/// The race flag is a *child* [`CancelToken`] of the caller's token
+/// (when one is supplied): the winner cancels only the child, so
+/// siblings stop, while an external cancellation or deadline on the
+/// parent reaches every strategy through the same poll — one
+/// cancellation idiom for both uses (DESIGN.md §12.2).
+///
 /// Verdicts are intrinsic to the instance — identical at any thread
 /// count. At the node-budget boundary a strategy helped by the shared
 /// table may decide an instance the lone canonical variant would give up
@@ -1557,8 +1602,8 @@ fn solve_csp_pruned_portfolio(
     sym: &CspSymmetry,
     table: &NoGoodTable,
     node_budget: usize,
+    external: Option<&CancelToken>,
 ) -> Solvability {
-    use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Mutex;
 
     let alternates = [
@@ -1571,14 +1616,17 @@ fn solve_csp_pruned_portfolio(
             tie_degree: true,
         },
     ];
-    let cancel = AtomicBool::new(false);
+    let race = match external {
+        Some(token) => token.child(),
+        None => CancelToken::new(),
+    };
     let winner: Mutex<Option<PrunedOutcome>> = Mutex::new(None);
     let csp = &instance;
     let report = |outcome: PrunedOutcome| -> bool {
         let mut slot = winner.lock().expect("winner slot poisoned");
         if slot.is_none() {
             *slot = Some(outcome);
-            cancel.store(true, Ordering::SeqCst);
+            race.cancel();
             true
         } else {
             false
@@ -1586,10 +1634,10 @@ fn solve_csp_pruned_portfolio(
     };
     ksa_exec::scope(|s| {
         for knobs in alternates {
-            let (cancel, report) = (&cancel, &report);
+            let (race, report) = (&race, &report);
             s.spawn(move |_| {
                 let (out, stats) =
-                    run_pruned_strategy(csp, sym, table, Some(cancel), knobs, node_budget);
+                    run_pruned_strategy(csp, sym, table, Some(race), knobs, node_budget);
                 flush_pruned_perf(&stats);
                 if matches!(out, PrunedOutcome::Solved(_) | PrunedOutcome::Exhausted) && report(out)
                 {
@@ -1598,13 +1646,13 @@ fn solve_csp_pruned_portfolio(
             });
         }
         {
-            let (cancel, report) = (&cancel, &report);
+            let (race, report) = (&race, &report);
             s.spawn(move |_| {
                 let (out, stats) = run_pruned_strategy(
                     csp,
                     sym,
                     table,
-                    Some(cancel),
+                    Some(race),
                     PrunedKnobs::CANONICAL,
                     node_budget,
                 );
@@ -1618,6 +1666,8 @@ fn solve_csp_pruned_portfolio(
     });
     match winner.into_inner().expect("winner slot poisoned") {
         Some(outcome) => finish_pruned(instance, outcome),
+        // No strategy completed: every one was cancelled (external
+        // token) or ran out of budget without reporting.
         None => Solvability::Unknown,
     }
 }
@@ -1801,6 +1851,59 @@ pub fn decide_one_round_sweep(
     exec_limit: usize,
     node_budget: usize,
 ) -> Result<KSweep, CoreError> {
+    sweep_impl(model, k_max, exec_limit, node_budget, None, &mut |_| {})
+}
+
+/// Progress of a k-sweep, reported after each instance decided by full
+/// search (monotone fills are instantaneous and ride along in
+/// `decided`). This is what the analysis server streams to clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepProgress {
+    /// The `k` the search just decided.
+    pub k: usize,
+    /// Sweep entries filled so far (searched + seeded + pruned).
+    pub decided: usize,
+    /// Total entries (`k_max`).
+    pub total: usize,
+}
+
+/// [`decide_one_round_sweep`] with a cooperative [`CancelToken`] and a
+/// progress callback: the token is polled between instances *and*
+/// threaded into every search's portfolio (per-node granularity), so a
+/// deadline fires mid-search, not just between searches. A token that
+/// never fires leaves the sweep bit-identical to
+/// [`decide_one_round_sweep`] at any `KSA_THREADS`.
+///
+/// # Errors
+///
+/// Same conditions as [`decide_one_round_sweep`], plus
+/// [`CoreError::Cancelled`] / [`CoreError::DeadlineExceeded`].
+pub fn decide_one_round_sweep_cancellable(
+    model: &ClosedAboveModel,
+    k_max: usize,
+    exec_limit: usize,
+    node_budget: usize,
+    cancel: &CancelToken,
+    progress: &mut dyn FnMut(SweepProgress),
+) -> Result<KSweep, CoreError> {
+    sweep_impl(
+        model,
+        k_max,
+        exec_limit,
+        node_budget,
+        Some(cancel),
+        progress,
+    )
+}
+
+fn sweep_impl(
+    model: &ClosedAboveModel,
+    k_max: usize,
+    exec_limit: usize,
+    node_budget: usize,
+    cancel: Option<&CancelToken>,
+    progress: &mut dyn FnMut(SweepProgress),
+) -> Result<KSweep, CoreError> {
     validate_k(k_max)?;
     let mut verdicts: Vec<Option<Solvability>> = vec![None; k_max];
     let (mut searched, mut seeded, mut pruned) = (0usize, 0usize, 0usize);
@@ -1808,7 +1911,7 @@ pub fn decide_one_round_sweep(
     while lo <= hi {
         let mid = lo + (hi - lo) / 2;
         searched += 1;
-        match decide_one_round(model, mid, mid, exec_limit, node_budget)? {
+        match decide_one_round_cancellable(model, mid, mid, exec_limit, node_budget, cancel)? {
             Solvability::Solvable(witness) => {
                 verdicts[mid - 1] = Some(Solvability::Solvable(witness.clone()));
                 let mut lifted = witness;
@@ -1834,16 +1937,26 @@ pub fn decide_one_round_sweep(
             }
             Solvability::Unknown => {
                 verdicts[mid - 1] = Some(Solvability::Unknown);
+                report_sweep_progress(progress, mid, &verdicts);
                 break;
             }
         }
+        report_sweep_progress(progress, mid, &verdicts);
     }
     // Only reachable after an `Unknown`: no monotone fact covers the
     // remaining entries, so decide them individually.
     for k in 1..=k_max {
         if verdicts[k - 1].is_none() {
             searched += 1;
-            verdicts[k - 1] = Some(decide_one_round(model, k, k, exec_limit, node_budget)?);
+            verdicts[k - 1] = Some(decide_one_round_cancellable(
+                model,
+                k,
+                k,
+                exec_limit,
+                node_budget,
+                cancel,
+            )?);
+            report_sweep_progress(progress, k, &verdicts);
         }
     }
     ksa_obs::count(ksa_obs::Counter::CspSweepSeeded, seeded as u64);
@@ -1857,6 +1970,18 @@ pub fn decide_one_round_sweep(
         seeded,
         pruned,
     })
+}
+
+fn report_sweep_progress(
+    progress: &mut dyn FnMut(SweepProgress),
+    k: usize,
+    verdicts: &[Option<Solvability>],
+) {
+    progress(SweepProgress {
+        k,
+        decided: verdicts.iter().filter(|v| v.is_some()).count(),
+        total: verdicts.len(),
+    });
 }
 
 /// Lifts a witness for `k_from`-set agreement (inputs `{0, …, k_from}`)

@@ -47,6 +47,7 @@
 //! ```
 
 pub mod budget;
+pub mod cancel;
 pub mod closure;
 pub mod covering;
 pub mod digraph;

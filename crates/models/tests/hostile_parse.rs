@@ -1,0 +1,150 @@
+//! Fuzz-style hostility tests for the [`ModelSpec`] parser: whatever
+//! bytes arrive — random garbage, truncations, mutations of canonical
+//! spellings, pathological nesting — parsing must return `Err` or a
+//! valid spec, and must never panic, overflow the stack, or hang.
+//!
+//! The analysis server feeds client-supplied model strings straight
+//! into this parser, so it is the repo's most exposed surface.
+
+use ksa_models::ModelSpec;
+use proptest::prelude::*;
+use proptest::TestRng;
+
+/// The characters the grammar uses, plus noise — biased so random
+/// strings exercise deep parser paths instead of failing on byte one.
+const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789{}(),=:>|_. \t\xff\x00";
+
+fn random_bytes(rng: &mut TestRng) -> Vec<u8> {
+    let len = rng.below(200) as usize;
+    (0..len)
+        .map(|_| ALPHABET[rng.below(ALPHABET.len() as u64) as usize])
+        .collect()
+}
+
+/// A canonical spelling to mutate/truncate.
+fn canonical(rng: &mut TestRng) -> String {
+    let specs = [
+        "stars{n=5,s=2}",
+        "kernel{n=4}",
+        "ring{n=6,sym}",
+        "tournament{n=3}",
+        "union(ring{n=4},stars{n=4,s=2},kernel{n=4})",
+        "product(ring{n=4},kernel{n=4})",
+        "up{n=3:0>1 1>2|_}",
+        "set{n=3:0>1,1>0}",
+        "random{n=3,p=0.25,seed=7,count=2}",
+        "product(union(ring{n=4},kernel{n=4}),stars{n=4,s=1})",
+    ];
+    specs[rng.below(specs.len() as u64) as usize].to_string()
+}
+
+fn arbitrary_input() -> impl Strategy<Value = Vec<u8>> {
+    Just(()).prop_perturb(|(), mut rng| random_bytes(&mut rng))
+}
+
+fn truncated_canonical() -> impl Strategy<Value = String> {
+    Just(()).prop_perturb(|(), mut rng| {
+        let full = canonical(&mut rng);
+        let cut = rng.below(full.len() as u64 + 1) as usize;
+        full[..cut].to_string()
+    })
+}
+
+fn mutated_canonical() -> impl Strategy<Value = String> {
+    Just(()).prop_perturb(|(), mut rng| {
+        let mut bytes = canonical(&mut rng).into_bytes();
+        for _ in 0..=rng.below(3) {
+            if bytes.is_empty() {
+                break;
+            }
+            let at = rng.below(bytes.len() as u64) as usize;
+            match rng.below(3) {
+                0 => bytes[at] = ALPHABET[rng.below(ALPHABET.len() as u64) as usize],
+                1 => {
+                    bytes.insert(at, ALPHABET[rng.below(ALPHABET.len() as u64) as usize]);
+                }
+                _ => {
+                    bytes.remove(at);
+                }
+            }
+        }
+        String::from_utf8_lossy(&bytes).into_owned()
+    })
+}
+
+/// The invariant all hostile inputs share: parsing returns, and an `Ok`
+/// is a genuine spec (its canonical spelling re-parses to itself).
+fn assert_total(input: &str) {
+    if let Ok(spec) = input.parse::<ModelSpec>() {
+        let canonical = spec.to_string();
+        let reparsed: ModelSpec = canonical.parse().unwrap_or_else(|e| {
+            panic!("accepted {input:?} but canonical {canonical:?} fails: {e}")
+        });
+        assert_eq!(reparsed, spec);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn random_bytes_never_panic(bytes in arbitrary_input()) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        assert_total(&text);
+    }
+
+    #[test]
+    fn truncated_canonical_never_panics(text in truncated_canonical()) {
+        assert_total(&text);
+    }
+
+    #[test]
+    fn mutated_canonical_never_panics(text in mutated_canonical()) {
+        assert_total(&text);
+    }
+}
+
+#[test]
+fn deep_union_nesting_errors_instead_of_overflowing() {
+    // Before the depth cap this was a guaranteed stack overflow: each
+    // `union(` frame recursed with no bound. 10 000 levels would need
+    // megabytes of stack; the cap turns it into an early `Err`.
+    for head in ["union(", "product("] {
+        let hostile = head.repeat(10_000);
+        let err = hostile
+            .parse::<ModelSpec>()
+            .expect_err("unterminated nesting must not parse");
+        let msg = err.to_string();
+        assert!(msg.contains("nested deeper"), "unexpected error: {msg}");
+    }
+    // Mixed combinators hit the same cap.
+    let mixed = "union(product(".repeat(5_000);
+    assert!(mixed.parse::<ModelSpec>().is_err());
+}
+
+#[test]
+fn nesting_below_the_cap_still_parses() {
+    // A legitimate (if absurd) 30-level product tower round-trips.
+    let mut spec = "ring{n=3}".to_string();
+    for _ in 0..30 {
+        spec = format!("product({spec},ring{{n=3}})");
+    }
+    let parsed: ModelSpec = spec.parse().expect("within the cap");
+    assert_eq!(parsed.to_string(), spec);
+}
+
+#[test]
+fn pathological_flat_inputs_error_quickly() {
+    // Wide (not deep) hostile inputs: huge flat unions, huge numbers,
+    // endless parameter lists. All must terminate with Err or Ok
+    // without excessive work.
+    let wide = format!("union({})", vec!["ring{n=3}"; 5_000].join(","));
+    assert_total(&wide);
+    assert!("ring{n=99999999999999999999999999999999999999999}"
+        .parse::<ModelSpec>()
+        .is_err());
+    let many_params = format!("ring{{{}}}", vec!["n=3"; 10_000].join(","));
+    assert_total(&many_params);
+    assert_total(&"9".repeat(100_000));
+    assert_total(&"a".repeat(100_000));
+}

@@ -98,11 +98,21 @@ pub enum Counter {
     /// Certificates re-verified by the standalone `ksa-cert` checkers
     /// (one per check call, accept or reject).
     CertsChecked,
+    /// Server cache lookups answered from a verified on-disk entry.
+    /// Deterministic given the request sequence: a hit depends only on
+    /// which keys were written before, never on scheduling.
+    CacheHits,
+    /// Server cache lookups that found no usable entry (absent, key
+    /// mismatch, or quarantined — quarantines are additionally counted
+    /// in the perf tier because *when* corruption is observed is not).
+    CacheMisses,
+    /// Server cache entries committed to disk (temp-file-then-rename).
+    CacheWrites,
 }
 
 impl Counter {
     /// All counters, in presentation order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 23] = [
         Counter::FacetsEnumerated,
         Counter::FacesClosed,
         Counter::ViewsInterned,
@@ -123,6 +133,9 @@ impl Counter {
         Counter::DominationQueries,
         Counter::CertsEmitted,
         Counter::CertsChecked,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::CacheWrites,
     ];
 
     /// Stable snake_case name (JSON keys, report labels).
@@ -148,6 +161,9 @@ impl Counter {
             Counter::DominationQueries => "domination_queries",
             Counter::CertsEmitted => "certs_emitted",
             Counter::CertsChecked => "certs_checked",
+            Counter::CacheHits => "cache_hits",
+            Counter::CacheMisses => "cache_misses",
+            Counter::CacheWrites => "cache_writes",
         }
     }
 }
@@ -181,11 +197,24 @@ pub enum PerfCounter {
     /// Registry materializations discarded because a concurrent racer
     /// already populated the cache entry.
     RegistryRedundantBuilds,
+    /// Corrupt or truncated server cache entries quarantined on read
+    /// (renamed aside, then transparently recomputed).
+    CacheCorruptionsQuarantined,
+    /// Requests refused with `Overloaded` because the server's bounded
+    /// queue was full.
+    RequestsShed,
+    /// Deadlines observed tripping a `CancelToken` (counted once at
+    /// the live→deadline transition; *when* a checkpoint notices is
+    /// scheduling-dependent).
+    DeadlinesTripped,
+    /// Worker tasks that panicked and were isolated by `catch_unwind`
+    /// into a structured error response.
+    RequestsPanicked,
 }
 
 impl PerfCounter {
     /// All perf counters, in presentation order.
-    pub const ALL: [PerfCounter; 9] = [
+    pub const ALL: [PerfCounter; 13] = [
         PerfCounter::ExecSteals,
         PerfCounter::ExecParks,
         PerfCounter::ExecSpawns,
@@ -195,6 +224,10 @@ impl PerfCounter {
         PerfCounter::PortfolioCanonicalWins,
         PerfCounter::PortfolioAlternateWins,
         PerfCounter::RegistryRedundantBuilds,
+        PerfCounter::CacheCorruptionsQuarantined,
+        PerfCounter::RequestsShed,
+        PerfCounter::DeadlinesTripped,
+        PerfCounter::RequestsPanicked,
     ];
 
     /// Stable snake_case name (JSON keys, report labels).
@@ -209,6 +242,10 @@ impl PerfCounter {
             PerfCounter::PortfolioCanonicalWins => "portfolio_canonical_wins",
             PerfCounter::PortfolioAlternateWins => "portfolio_alternate_wins",
             PerfCounter::RegistryRedundantBuilds => "registry_redundant_builds",
+            PerfCounter::CacheCorruptionsQuarantined => "cache_corruptions_quarantined",
+            PerfCounter::RequestsShed => "requests_shed",
+            PerfCounter::DeadlinesTripped => "deadlines_tripped",
+            PerfCounter::RequestsPanicked => "requests_panicked",
         }
     }
 }

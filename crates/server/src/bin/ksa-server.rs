@@ -1,0 +1,94 @@
+//! The analysis server daemon.
+//!
+//! ```text
+//! ksa-server --socket /tmp/ksa.sock --cache-dir /tmp/ksa-cache \
+//!            [--queue 64] [--workers 4]
+//! ```
+//!
+//! Prints `listening on <socket>` once the socket is bound (scripts and
+//! the CI job wait for that line), then serves until a `shutdown`
+//! request arrives. With `--features faults`, a `KSA_FAULTS` schedule
+//! is armed at startup; without the feature, setting `KSA_FAULTS` is a
+//! startup error rather than a silently inert suite.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+struct Args {
+    socket: PathBuf,
+    cache_dir: PathBuf,
+    queue: usize,
+    workers: usize,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: ksa-server --socket PATH --cache-dir PATH [--queue N] [--workers N]");
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut socket = None;
+    let mut cache_dir = None;
+    let mut queue = 64usize;
+    let mut workers = std::thread::available_parallelism().map_or(2, |n| n.get().min(4));
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--socket" => socket = Some(PathBuf::from(value("--socket"))),
+            "--cache-dir" => cache_dir = Some(PathBuf::from(value("--cache-dir"))),
+            "--queue" => {
+                queue = value("--queue").parse().unwrap_or_else(|_| usage());
+            }
+            "--workers" => {
+                workers = value("--workers").parse().unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    let Some(socket) = socket else { usage() };
+    let Some(cache_dir) = cache_dir else { usage() };
+    Args {
+        socket,
+        cache_dir,
+        queue,
+        workers,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    match ksa_faults::arm_from_env() {
+        Ok(false) => {}
+        Ok(true) => eprintln!("fault schedule armed from KSA_FAULTS"),
+        Err(e) => {
+            eprintln!("KSA_FAULTS: {e}");
+            exit(2);
+        }
+    }
+    let handle = match ksa_server::server::start(ksa_server::server::Config {
+        socket: args.socket.clone(),
+        cache_dir: args.cache_dir,
+        queue_cap: args.queue,
+        workers: args.workers,
+    }) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("failed to start: {e}");
+            exit(1);
+        }
+    };
+    println!("listening on {}", args.socket.display());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.wait();
+}

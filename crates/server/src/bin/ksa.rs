@@ -1,0 +1,192 @@
+//! `ksa` — the CLI client for the analysis server.
+//!
+//! ```text
+//! ksa --socket /tmp/ksa.sock ping
+//! ksa --socket /tmp/ksa.sock solv 'ring{n=3}' --k-max 3 [--deadline-ms N] [--no-cache]
+//! ksa --socket /tmp/ksa.sock rounds 'ring{n=3}' --value-max 1 --rounds 2
+//! ksa --socket /tmp/ksa.sock shutdown
+//! ```
+//!
+//! Progress frames go to stderr; the terminal frame's JSON goes to
+//! stdout verbatim, so piping two invocations into files and `diff`ing
+//! them checks the cold-vs-cached byte-identity the cache promises.
+//! An `overloaded` response is retried after the server's
+//! `retry_after_ms` hint, a bounded number of times.
+//!
+//! Exit codes: 0 result, 1 error frame or exhausted retries,
+//! 2 usage / connection failure.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use ksa_server::client;
+use ksa_server::json::{obj, parse, Value};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ksa --socket PATH <ping|shutdown|solv MODEL --k-max N|rounds MODEL --value-max N --rounds N>\n\
+         options: --deadline-ms N   fail the query after N ms\n\
+         \x20        --no-cache        bypass the server's response cache\n\
+         \x20        --retries N       attempts for connect and overload retry (default 10)"
+    );
+    exit(2);
+}
+
+struct Cli {
+    socket: PathBuf,
+    request: Value,
+    retries: u32,
+}
+
+fn parse_cli() -> Cli {
+    let mut socket = None;
+    let mut retries = 10u32;
+    let mut deadline_ms: Option<i64> = None;
+    let mut no_cache = false;
+    let mut k_max: Option<i64> = None;
+    let mut value_max: Option<i64> = None;
+    let mut rounds: Option<i64> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        let int_value = |name: &str, raw: String| {
+            raw.parse::<i64>().unwrap_or_else(|_| {
+                eprintln!("bad integer for {name}: `{raw}`");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--socket" => socket = Some(PathBuf::from(value("--socket"))),
+            "--retries" => {
+                let raw = value("--retries");
+                retries = raw.parse().unwrap_or_else(|_| usage());
+            }
+            "--deadline-ms" => {
+                let raw = value("--deadline-ms");
+                deadline_ms = Some(int_value("--deadline-ms", raw));
+            }
+            "--no-cache" => no_cache = true,
+            "--k-max" => {
+                let raw = value("--k-max");
+                k_max = Some(int_value("--k-max", raw));
+            }
+            "--value-max" => {
+                let raw = value("--value-max");
+                value_max = Some(int_value("--value-max", raw));
+            }
+            "--rounds" => {
+                let raw = value("--rounds");
+                rounds = Some(int_value("--rounds", raw));
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => {
+                eprintln!("unknown option `{other}`");
+                usage();
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let Some(socket) = socket else { usage() };
+    let query = positional.first().map(String::as_str);
+    let mut members: Vec<(&str, Value)> = Vec::new();
+    match query {
+        Some("ping") => members.push(("query", Value::Str("ping".to_string()))),
+        Some("shutdown") => members.push(("query", Value::Str("shutdown".to_string()))),
+        Some("solv") => {
+            let (Some(model), Some(k)) = (positional.get(1), k_max) else {
+                usage()
+            };
+            members.push(("query", Value::Str("solv".to_string())));
+            members.push(("model", Value::Str(model.clone())));
+            members.push(("k_max", Value::Int(k)));
+        }
+        Some("rounds") => {
+            let (Some(model), Some(v), Some(r)) = (positional.get(1), value_max, rounds) else {
+                usage()
+            };
+            members.push(("query", Value::Str("rounds".to_string())));
+            members.push(("model", Value::Str(model.clone())));
+            members.push(("value_max", Value::Int(v)));
+            members.push(("rounds", Value::Int(r)));
+        }
+        _ => usage(),
+    }
+    if let Some(ms) = deadline_ms {
+        members.push(("deadline_ms", Value::Int(ms)));
+    }
+    if no_cache {
+        members.push(("no_cache", Value::Bool(true)));
+    }
+    Cli {
+        socket,
+        request: obj(members),
+        retries,
+    }
+}
+
+fn main() {
+    let cli = parse_cli();
+    let payload = cli.request.to_json();
+    for _attempt in 0..cli.retries.max(1) {
+        let stream = match client::connect_with_retry(&cli.socket, cli.retries, 20) {
+            Ok(stream) => stream,
+            Err(e) => {
+                eprintln!("connect {}: {e}", cli.socket.display());
+                exit(2);
+            }
+        };
+        let frames = match client::roundtrip(stream, payload.as_bytes()) {
+            Ok(frames) => frames,
+            Err(e) => {
+                eprintln!("request failed: {e}");
+                exit(2);
+            }
+        };
+        let mut retry_after = None;
+        for frame in &frames {
+            let text = String::from_utf8_lossy(frame);
+            let Ok(decoded) = parse(frame) else {
+                eprintln!("unparseable frame from server: {text}");
+                exit(1);
+            };
+            match decoded.get("event").and_then(Value::as_str) {
+                Some("progress") => eprintln!("{text}"),
+                Some("result") => {
+                    println!("{text}");
+                    exit(0);
+                }
+                Some("error") => {
+                    eprintln!("{text}");
+                    exit(1);
+                }
+                Some("overloaded") => {
+                    let ms = decoded
+                        .get("retry_after_ms")
+                        .and_then(Value::as_i64)
+                        .and_then(|v| u64::try_from(v).ok())
+                        .unwrap_or(50);
+                    retry_after = Some(ms);
+                }
+                _ => {
+                    eprintln!("unexpected frame from server: {text}");
+                    exit(1);
+                }
+            }
+        }
+        match retry_after {
+            Some(ms) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+            None => {
+                eprintln!("server closed the connection without a terminal frame");
+                exit(1);
+            }
+        }
+    }
+    eprintln!("server overloaded; retries exhausted");
+    exit(1);
+}

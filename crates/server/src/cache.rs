@@ -1,0 +1,355 @@
+//! Crash-safe content-addressed response cache (DESIGN.md §12.4).
+//!
+//! Entries are keyed by a canonical request string (query kind +
+//! canonical `ModelSpec` + the server's fixed budgets) and store the
+//! *entire serialized response frame*, so a cache hit replays bytes
+//! that are identical to a fresh computation by construction.
+//!
+//! # Crash safety
+//!
+//! Writes go to a temp file in the cache directory and are published
+//! with an atomic `rename`. A `kill -9` at any instant therefore leaves
+//! either no visible entry or a complete one — never a torn one. Stale
+//! temp files from a crashed writer are swept on [`Cache::open`].
+//!
+//! # Corruption
+//!
+//! Every entry carries a header with the key and payload lengths and an
+//! FNV-1a-64 checksum over `key ++ 0x00 ++ payload`, plus an echo of
+//! the key itself. A read that fails *any* structural or checksum test
+//! quarantines the file (rename to `*.quarantined`, counted by the
+//! `cache_corruptions_quarantined` perf counter) and reports a miss, so
+//! a bit-flipped entry is recomputed transparently. A key echo that
+//! simply doesn't match the requested key is a filename-hash collision,
+//! not corruption: the read is a miss and the entry is left in place.
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use ksa_obs as obs;
+
+const MAGIC: &str = "ksa-cache/1";
+
+/// FNV-1a 64-bit — the repo's standalone checksum of choice (fast,
+/// dependency-free, and good enough to catch torn or bit-flipped
+/// entries; this is corruption detection, not cryptography).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn entry_checksum(key: &str, payload: &str) -> u64 {
+    let mut bytes = Vec::with_capacity(key.len() + 1 + payload.len());
+    bytes.extend_from_slice(key.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(payload.as_bytes());
+    fnv1a64(&bytes)
+}
+
+/// An on-disk response cache rooted at one directory.
+#[derive(Debug)]
+pub struct Cache {
+    dir: PathBuf,
+    seq: std::sync::atomic::AtomicU64,
+}
+
+impl Cache {
+    /// Open (creating if needed) a cache directory and sweep temp files
+    /// left behind by a crashed writer.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating or scanning the directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Cache> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.contains(".tmp.") {
+                // A previous writer died between create and rename; the
+                // published namespace never saw this file.
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        Ok(Cache {
+            dir,
+            seq: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// The directory this cache lives in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir
+            .join(format!("{:016x}.entry", fnv1a64(key.as_bytes())))
+    }
+
+    /// Look up `key`. Counts `cache_hits`/`cache_misses`; any
+    /// structural failure quarantines the entry and reads as a miss.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<String> {
+        let hit = self.read_verified(key);
+        if hit.is_some() {
+            obs::count(obs::Counter::CacheHits, 1);
+        } else {
+            obs::count(obs::Counter::CacheMisses, 1);
+        }
+        hit
+    }
+
+    fn read_verified(&self, key: &str) -> Option<String> {
+        if ksa_faults::maybe_io_error(ksa_faults::Site::CacheReadIo).is_err() {
+            // Injected read failure: degrade to a miss, recompute.
+            return None;
+        }
+        let path = self.entry_path(key);
+        let mut raw = Vec::new();
+        match fs::File::open(&path) {
+            Ok(mut f) => {
+                if f.read_to_end(&mut raw).is_err() {
+                    self.quarantine(&path);
+                    return None;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
+            Err(_) => return None,
+        }
+        match parse_entry(&raw) {
+            Ok((stored_key, payload)) => {
+                if stored_key == key {
+                    Some(payload)
+                } else {
+                    // Filename-hash collision: not our entry, not
+                    // corruption. Plain miss.
+                    None
+                }
+            }
+            Err(_) => {
+                self.quarantine(&path);
+                None
+            }
+        }
+    }
+
+    fn quarantine(&self, path: &Path) {
+        let mut target = path.as_os_str().to_owned();
+        target.push(".quarantined");
+        if fs::rename(path, &target).is_ok() {
+            obs::perf_count(obs::PerfCounter::CacheCorruptionsQuarantined, 1);
+        }
+    }
+
+    /// Publish `payload` under `key` with a temp-write-then-rename.
+    /// Counts `cache_writes` on success.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error; the published namespace is untouched on failure.
+    pub fn put(&self, key: &str, payload: &str) -> io::Result<()> {
+        ksa_faults::maybe_io_error(ksa_faults::Site::CacheWriteIo)?;
+        let path = self.entry_path(key);
+        let serial = self.seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = self.dir.join(format!(
+            "{:016x}.tmp.{}.{serial}",
+            fnv1a64(key.as_bytes()),
+            std::process::id()
+        ));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(format_entry(key, payload).as_bytes())?;
+            f.sync_all()?;
+        }
+        // The fault suite's kill-9 window: the temp file exists, the
+        // rename has not happened.
+        ksa_faults::maybe_stall(ksa_faults::Site::CacheWriteStall);
+        fs::rename(&tmp, &path)?;
+        obs::count(obs::Counter::CacheWrites, 1);
+        Ok(())
+    }
+}
+
+fn format_entry(key: &str, payload: &str) -> String {
+    format!(
+        "{MAGIC} {} {} {:016x}\n{key}\n{payload}",
+        key.len(),
+        payload.len(),
+        entry_checksum(key, payload)
+    )
+}
+
+fn parse_entry(raw: &[u8]) -> Result<(String, String), String> {
+    let text = std::str::from_utf8(raw).map_err(|_| "entry is not UTF-8".to_string())?;
+    let (header, body) = text
+        .split_once('\n')
+        .ok_or_else(|| "missing header line".to_string())?;
+    let mut fields = header.split(' ');
+    if fields.next() != Some(MAGIC) {
+        return Err("bad magic".to_string());
+    }
+    let key_len: usize = fields
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| "bad key length".to_string())?;
+    let payload_len: usize = fields
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| "bad payload length".to_string())?;
+    let checksum = fields
+        .next()
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or_else(|| "bad checksum".to_string())?;
+    if fields.next().is_some() {
+        return Err("trailing header fields".to_string());
+    }
+    // body = key "\n" payload, with both lengths declared up front.
+    if body.len() != key_len + 1 + payload_len {
+        return Err("length mismatch".to_string());
+    }
+    if !body.is_char_boundary(key_len) || body.as_bytes().get(key_len) != Some(&b'\n') {
+        return Err("key/payload separator missing".to_string());
+    }
+    let key = &body[..key_len];
+    let payload = &body[key_len + 1..];
+    if entry_checksum(key, payload) != checksum {
+        return Err("checksum mismatch".to_string());
+    }
+    Ok((key.to_string(), payload.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ksa-cache-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn entry_format_round_trips() {
+        let (key, payload) = parse_entry(format_entry("k|v", "{\"a\":1}\n").as_bytes()).unwrap();
+        assert_eq!(key, "k|v");
+        assert_eq!(payload, "{\"a\":1}\n");
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_miss() {
+        let dir = scratch("roundtrip");
+        let cache = Cache::open(&dir).unwrap();
+        assert_eq!(cache.get("absent"), None);
+        cache.put("key-1", "payload one").unwrap();
+        assert_eq!(cache.get("key-1").as_deref(), Some("payload one"));
+        // Overwrite is atomic and visible.
+        cache.put("key-1", "payload two").unwrap();
+        assert_eq!(cache.get("key-1").as_deref(), Some("payload two"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entries_are_quarantined_and_recomputable() {
+        let dir = scratch("corrupt");
+        let cache = Cache::open(&dir).unwrap();
+        cache.put("key", "genuine payload").unwrap();
+        let path = cache.entry_path("key");
+        // Flip one payload byte on disk.
+        let mut raw = fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01;
+        fs::write(&path, &raw).unwrap();
+        assert_eq!(cache.get("key"), None, "corrupt entry reads as a miss");
+        assert!(!path.exists(), "corrupt entry no longer published");
+        let quarantined: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .ends_with(".quarantined")
+            })
+            .collect();
+        assert_eq!(quarantined.len(), 1);
+        // Recompute-and-republish restores the entry.
+        cache.put("key", "genuine payload").unwrap();
+        assert_eq!(cache.get("key").as_deref(), Some("genuine payload"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_entry_is_quarantined() {
+        let dir = scratch("truncated");
+        let cache = Cache::open(&dir).unwrap();
+        cache
+            .put("key", "a payload that will be cut short")
+            .unwrap();
+        let path = cache.entry_path("key");
+        let raw = fs::read(&path).unwrap();
+        fs::write(&path, &raw[..raw.len() / 2]).unwrap();
+        assert_eq!(cache.get("key"), None);
+        assert!(!path.exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn key_echo_mismatch_is_a_plain_miss() {
+        let dir = scratch("collision");
+        let cache = Cache::open(&dir).unwrap();
+        // Forge a structurally valid entry for a different key at the
+        // location our key hashes to — a filename-hash collision.
+        let path = cache.entry_path("wanted");
+        fs::write(&path, format_entry("other", "other payload")).unwrap();
+        assert_eq!(cache.get("wanted"), None);
+        assert!(path.exists(), "collision victim is not quarantined");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_sweeps_stale_tmp_files() {
+        let dir = scratch("sweep");
+        fs::create_dir_all(&dir).unwrap();
+        let stale = dir.join("0123456789abcdef.tmp.999.0");
+        fs::write(&stale, "half-written").unwrap();
+        let keeper = dir.join("0123456789abcdef.entry");
+        fs::write(&keeper, "not a tmp file").unwrap();
+        let _cache = Cache::open(&dir).unwrap();
+        assert!(!stale.exists(), "stale tmp swept on open");
+        assert!(keeper.exists(), "published entries untouched");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn keys_with_newlines_round_trip() {
+        // Keys are length-prefixed, so an embedded newline can't confuse
+        // the header parse.
+        let dir = scratch("newline");
+        let cache = Cache::open(&dir).unwrap();
+        cache.put("key\nwith\nnewlines", "payload\n\n").unwrap();
+        assert_eq!(
+            cache.get("key\nwith\nnewlines").as_deref(),
+            Some("payload\n\n")
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,56 @@
+//! Client-side plumbing shared by the `ksa` CLI and the test suites:
+//! connect with bounded retry, send one request, collect response
+//! frames.
+
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+use crate::framing::{read_frame, write_frame};
+
+/// Connect to the server socket, retrying with linear backoff while the
+/// server is still coming up. Bounded: fails after `attempts` tries.
+///
+/// # Errors
+///
+/// The last connection error once the attempts are exhausted.
+pub fn connect_with_retry(socket: &Path, attempts: u32, backoff_ms: u64) -> io::Result<UnixStream> {
+    let mut last = None;
+    for attempt in 0..attempts.max(1) {
+        match UnixStream::connect(socket) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(backoff_ms * u64::from(attempt + 1)));
+            }
+        }
+    }
+    Err(last.unwrap_or_else(|| io::Error::other("no connection attempts made")))
+}
+
+/// Send one request payload and collect every response frame until the
+/// server closes the connection. Frames are returned raw so callers can
+/// compare responses byte-for-byte.
+///
+/// # Errors
+///
+/// Any I/O or framing error on the stream.
+pub fn roundtrip(mut stream: UnixStream, request: &[u8]) -> io::Result<Vec<Vec<u8>>> {
+    write_frame(&mut stream, request)?;
+    let mut frames = Vec::new();
+    while let Some(frame) = read_frame(&mut stream)? {
+        frames.push(frame);
+    }
+    Ok(frames)
+}
+
+/// [`connect_with_retry`] then [`roundtrip`] in one call.
+///
+/// # Errors
+///
+/// As the two steps.
+pub fn request(socket: &Path, payload: &[u8]) -> io::Result<Vec<Vec<u8>>> {
+    let stream = connect_with_retry(socket, 10, 20)?;
+    roundtrip(stream, payload)
+}

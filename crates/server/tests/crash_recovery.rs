@@ -1,0 +1,167 @@
+//! Crash-recovery tests against the real `ksa-server` binary: a
+//! `kill -9` mid-cache-write must never leave a torn entry, and a
+//! restarted server must serve the same bytes it would have served
+//! without the crash.
+//!
+//! The kill window is held open deterministically with the
+//! `cache_write_stall` fault site, so this suite needs the `faults`
+//! feature (`cargo test -p ksa-server --features faults`).
+
+#![cfg(feature = "faults")]
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use ksa_server::client;
+use ksa_server::json::{parse, Value};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ksa-crash-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spawn_server(dir: &Path, faults: Option<&str>) -> (Child, PathBuf) {
+    let socket = dir.join("sock");
+    let _ = std::fs::remove_file(&socket);
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ksa-server"));
+    cmd.arg("--socket")
+        .arg(&socket)
+        .arg("--cache-dir")
+        .arg(dir.join("cache"))
+        .arg("--workers")
+        .arg("1")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    match faults {
+        Some(spec) => cmd.env("KSA_FAULTS", spec),
+        None => cmd.env_remove("KSA_FAULTS"),
+    };
+    let child = cmd.spawn().expect("spawn ksa-server");
+    // Wait for the socket to exist rather than parsing stdout: the
+    // listening line and the bind race equally.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !socket.exists() {
+        assert!(Instant::now() < deadline, "server did not come up");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    (child, socket)
+}
+
+fn cache_files(dir: &Path) -> Vec<String> {
+    match std::fs::read_dir(dir.join("cache")) {
+        Ok(entries) => entries
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+#[test]
+fn kill_nine_mid_cache_write_leaves_no_torn_entry() {
+    let dir = scratch("kill9");
+    let req = br#"{"query":"solv","model":"ring{n=3}","k_max":2}"#;
+
+    // Phase 1: a server whose first cache write stalls for 60 s between
+    // writing the temp file and the publishing rename. The request
+    // computes, starts the write, and hangs in the kill window.
+    let (mut child, socket) = spawn_server(&dir, Some("cache_write_stall@1:60000"));
+    let socket_for_client = socket.clone();
+    let client_thread = std::thread::spawn(move || {
+        // The response frame is only sent after the (stalled) cache
+        // write, so this read outlives the kill below and fails — that
+        // is expected.
+        client::request(&socket_for_client, req)
+    });
+    // Wait for the temp file: proof the writer is inside the window.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if cache_files(&dir).iter().any(|name| name.contains(".tmp.")) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "writer never reached the stall window"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // SIGKILL: no destructors, no cleanup, the worst case.
+    child.kill().unwrap();
+    child.wait().unwrap();
+    let _ = client_thread.join();
+
+    let after_crash = cache_files(&dir);
+    assert!(
+        after_crash.iter().all(|name| !name.ends_with(".entry")),
+        "no published entry may exist after the crash: {after_crash:?}"
+    );
+
+    // Phase 2: clean restart, no faults. The stale temp file is swept,
+    // and the same query computes cold then replays cached,
+    // byte-identical.
+    let (mut child, socket) = spawn_server(&dir, None);
+    let cold = client::request(&socket, req).unwrap();
+    let cold_result = cold.last().unwrap().clone();
+    let v = parse(&cold_result).unwrap();
+    assert_eq!(v.get("event").and_then(Value::as_str), Some("result"));
+    let cached = client::request(&socket, req).unwrap();
+    assert_eq!(cached.len(), 1, "second run is a cache hit");
+    assert_eq!(cold_result, cached[0]);
+    let files = cache_files(&dir);
+    assert!(
+        files.iter().all(|name| !name.contains(".tmp.")),
+        "restart swept the stale temp file: {files:?}"
+    );
+    assert!(
+        files.iter().any(|name| name.ends_with(".entry")),
+        "the recomputed entry is published: {files:?}"
+    );
+
+    let _ = client::request(&socket, br#"{"query":"shutdown"}"#);
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn bit_flipped_entry_is_quarantined_and_recomputed_identically() {
+    let dir = scratch("bitflip");
+    let req = br#"{"query":"rounds","model":"ring{n=3}","value_max":1,"rounds":1}"#;
+    let (mut child, socket) = spawn_server(&dir, None);
+    let cold = client::request(&socket, req).unwrap();
+    let cold_result = cold.last().unwrap().clone();
+
+    // Flip one bit in the published entry on disk.
+    let entry = std::fs::read_dir(dir.join("cache"))
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "entry"))
+        .expect("one published entry");
+    let mut raw = std::fs::read(&entry).unwrap();
+    let last = raw.len() - 1;
+    raw[last] ^= 0x40;
+    std::fs::write(&entry, &raw).unwrap();
+
+    // The read quarantines the corrupt entry and recomputes: the
+    // response is byte-identical to the original cold run.
+    let recomputed = client::request(&socket, req).unwrap();
+    assert_eq!(&cold_result, recomputed.last().unwrap());
+    let files = cache_files(&dir);
+    assert!(
+        files.iter().any(|name| name.ends_with(".quarantined")),
+        "corrupt entry quarantined: {files:?}"
+    );
+    assert!(
+        files.iter().any(|name| name.ends_with(".entry")),
+        "fresh entry republished: {files:?}"
+    );
+    // And the republished entry serves hits again.
+    let cached = client::request(&socket, req).unwrap();
+    assert_eq!(cached.len(), 1);
+    assert_eq!(&cold_result, &cached[0]);
+
+    let _ = client::request(&socket, br#"{"query":"shutdown"}"#);
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -718,6 +718,9 @@ pub struct ChainSweep<V: View> {
     /// Warm per-dimension bases spanning exactly the previous step's
     /// boundary rows; `None` while cold (after a fallback).
     bases: Option<Vec<Echelon>>,
+    /// Cooperative cancellation, polled before every rank reduction
+    /// (`None` = never polled, zero overhead).
+    cancel: Option<ksa_graphs::cancel::CancelToken>,
 }
 
 impl<V: View> ChainSweep<V> {
@@ -728,20 +731,64 @@ impl<V: View> ChainSweep<V> {
             prev: None,
             cols: Vec::new(),
             bases: None,
+            cancel: None,
+        }
+    }
+
+    /// A fresh sweep that polls `cancel` before every boundary-rank
+    /// reduction — the engine's per-unit-of-work checkpoint. Use
+    /// [`try_push`](Self::try_push) to observe the interruption; a token
+    /// that never fires leaves every step bit-identical to an
+    /// uncancellable sweep.
+    pub fn with_cancel(cancel: ksa_graphs::cancel::CancelToken) -> Self {
+        ChainSweep {
+            cancel: Some(cancel),
+            ..ChainSweep::new()
+        }
+    }
+
+    fn checkpoint(&self) -> Result<(), ksa_graphs::cancel::Interrupted> {
+        match &self.cancel {
+            Some(token) => token.checkpoint(),
+            None => Ok(()),
         }
     }
 
     /// Feeds the next complex of the sequence through the engine.
+    ///
+    /// # Panics
+    ///
+    /// If a token installed via [`with_cancel`](Self::with_cancel) has
+    /// fired — cancellable callers use [`try_push`](Self::try_push).
     pub fn push(&mut self, complex: &Complex<V>) -> SweepStep {
+        self.try_push(complex)
+            .expect("cancellable sweeps must use try_push")
+    }
+
+    /// [`push`](Self::push), stopping at the next per-rank-reduction
+    /// checkpoint once the sweep's token has fired. An interruption may
+    /// leave the warm bases discarded (the engine goes cold), which is
+    /// harmless: a fired token stays fired, so every later push reports
+    /// the same interruption at its entry checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// The token's [`Interrupted`](ksa_graphs::cancel::Interrupted)
+    /// reason; infallible for sweeps built with [`new`](Self::new).
+    pub fn try_push(
+        &mut self,
+        complex: &Complex<V>,
+    ) -> Result<SweepStep, ksa_graphs::cancel::Interrupted> {
+        self.checkpoint()?;
         let mut chain = ChainComplex::from_complex(complex);
         if chain.is_void() {
             self.prev = Some(Vec::new());
             self.bases = None;
-            return SweepStep {
+            return Ok(SweepStep {
                 betti: Vec::new(),
                 connectivity: Connectivity::Empty,
                 resumed: false,
-            };
+            });
         }
 
         // Re-key this step's arenas into the sweep-global vertex space.
@@ -781,6 +828,7 @@ impl<V: View> ChainSweep<V> {
                 data: Vec::new(),
             };
             for k in 1..=dim {
+                self.checkpoint()?;
                 let _span = ksa_obs::span("chain", || "rank_resume").arg("dim", k as u64);
                 let prev_k = self.prev.as_ref().and_then(|p| p.get(k)).unwrap_or(&empty);
                 let skip_shared = warm && prev_k.count() > 0;
@@ -844,6 +892,16 @@ impl<V: View> ChainSweep<V> {
         } else {
             // Fallback: fresh per-complex reduction, bases go cold.
             self.bases = None;
+            if self.cancel.is_some() {
+                // Cancellable sweeps keep the per-rank-reduction poll
+                // granularity: warm each dimension's cached rank one at
+                // a time (checkpoint between), then read the identical
+                // Betti vector off the caches.
+                for k in 1..=chain.dim() as usize {
+                    self.checkpoint()?;
+                    chain.rank_boundary(k);
+                }
+            }
             let betti = chain.reduced_betti();
             let connectivity = Connectivity::from_reduced_betti(&betti);
             SweepStep {
@@ -854,7 +912,7 @@ impl<V: View> ChainSweep<V> {
         };
 
         self.prev = Some(cur);
-        step
+        Ok(step)
     }
 }
 

@@ -39,6 +39,12 @@ pub enum TopologyError {
     Budget(ksa_graphs::budget::BudgetExceeded),
     /// An underlying graph-layer error.
     Graph(ksa_graphs::GraphError),
+    /// The computation's [`CancelToken`](ksa_graphs::cancel::CancelToken)
+    /// was cancelled before it finished.
+    Cancelled,
+    /// The computation ran past its
+    /// [`Deadline`](ksa_graphs::cancel::Deadline).
+    DeadlineExceeded,
 }
 
 impl fmt::Display for TopologyError {
@@ -65,6 +71,10 @@ impl fmt::Display for TopologyError {
             }
             TopologyError::Budget(e) => write!(f, "budget error: {e}"),
             TopologyError::Graph(e) => write!(f, "graph error: {e}"),
+            TopologyError::Cancelled => write!(f, "the operation was cancelled"),
+            TopologyError::DeadlineExceeded => {
+                write!(f, "the operation ran past its deadline")
+            }
         }
     }
 }
@@ -91,6 +101,15 @@ impl From<ksa_graphs::budget::BudgetExceeded> for TopologyError {
     }
 }
 
+impl From<ksa_graphs::cancel::Interrupted> for TopologyError {
+    fn from(i: ksa_graphs::cancel::Interrupted) -> Self {
+        match i {
+            ksa_graphs::cancel::Interrupted::Cancelled => TopologyError::Cancelled,
+            ksa_graphs::cancel::Interrupted::DeadlineExceeded => TopologyError::DeadlineExceeded,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,10 +133,25 @@ mod tests {
                     .unwrap_err(),
             ),
             TopologyError::Graph(ksa_graphs::GraphError::EmptyProcessSet),
+            TopologyError::Cancelled,
+            TopologyError::DeadlineExceeded,
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn interrupted_maps_to_dedicated_variants() {
+        use ksa_graphs::cancel::Interrupted;
+        assert_eq!(
+            TopologyError::from(Interrupted::Cancelled),
+            TopologyError::Cancelled
+        );
+        assert_eq!(
+            TopologyError::from(Interrupted::DeadlineExceeded),
+            TopologyError::DeadlineExceeded
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@ use crate::intern::{InternedView, ViewTable};
 use crate::interpretation::FlatView;
 use crate::simplex::{Simplex, Vertex, View};
 use ksa_graphs::budget::RunBudget;
+use ksa_graphs::cancel::CancelToken;
 use ksa_graphs::Digraph;
 use ksa_obs::Counter;
 
@@ -113,6 +114,26 @@ impl<V: View> RoundsComplex<V> {
     pub fn homology_sweep(&self) -> Vec<crate::chain::SweepStep> {
         let mut sweep = crate::chain::ChainSweep::new();
         self.complexes.iter().map(|c| sweep.push(c)).collect()
+    }
+
+    /// [`homology_sweep`](Self::homology_sweep) with a cooperative
+    /// [`CancelToken`], polled before every boundary-rank reduction
+    /// (the sweep's units of work). A token that never fires leaves the
+    /// steps bit-identical to [`homology_sweep`](Self::homology_sweep).
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::Cancelled`] / [`TopologyError::DeadlineExceeded`]
+    /// when the token fires mid-sweep.
+    pub fn homology_sweep_cancellable(
+        &self,
+        cancel: &CancelToken,
+    ) -> Result<Vec<crate::chain::SweepStep>, TopologyError> {
+        let mut sweep = crate::chain::ChainSweep::with_cancel(cancel.clone());
+        self.complexes
+            .iter()
+            .map(|c| sweep.try_push(c).map_err(TopologyError::from))
+            .collect()
     }
 
     /// Re-materializes the **round-1** complex with explicit flat views —
@@ -298,13 +319,18 @@ fn round_step<'a>(
     Ok((table, Complex::from_facets(groups.into_iter().flatten())))
 }
 
-/// Shared driver for the sequential and parallel entry points.
+/// Shared driver for the sequential and parallel entry points. The
+/// per-round iteration is the pipeline's coarse poll point: a fired
+/// [`CancelToken`] stops before the next round's fan-out (finer polls —
+/// per rank reduction — live in the [`ChainSweep`](crate::chain::ChainSweep)
+/// that consumes the result).
 fn rounds_driver<V: View>(
     gens: &[Digraph],
     input: &Complex<V>,
     rounds: usize,
     budget: RunBudget,
     use_parallel: bool,
+    cancel: Option<&CancelToken>,
 ) -> Result<RoundsComplex<V>, TopologyError> {
     if gens.is_empty() {
         return Err(ksa_graphs::GraphError::EmptyGraphSet.into());
@@ -317,6 +343,9 @@ fn rounds_driver<V: View>(
     let mut tables = Vec::with_capacity(rounds);
     let mut complexes: Vec<Complex<u32>> = Vec::with_capacity(rounds);
     for t in 0..rounds {
+        if let Some(token) = cancel {
+            token.checkpoint()?;
+        }
         let _span = ksa_obs::span("topology", || "round").arg("round", t as u64 + 1);
         // Borrow the previous round's facets in place (the interned input
         // for round 1) — no per-round re-materialization.
@@ -358,7 +387,26 @@ pub fn protocol_complex_rounds<V: View>(
     rounds: usize,
     budget: impl Into<RunBudget>,
 ) -> Result<RoundsComplex<V>, TopologyError> {
-    rounds_driver(gens, input, rounds, budget.into(), true)
+    rounds_driver(gens, input, rounds, budget.into(), true, None)
+}
+
+/// [`protocol_complex_rounds`] with a cooperative [`CancelToken`],
+/// polled once per round (before each round's interpretation fan-out).
+/// A token that never fires leaves the construction bit-identical to
+/// [`protocol_complex_rounds`] at any `KSA_THREADS`.
+///
+/// # Errors
+///
+/// As for [`protocol_complex_rounds`], plus [`TopologyError::Cancelled`]
+/// / [`TopologyError::DeadlineExceeded`] when the token fires.
+pub fn protocol_complex_rounds_cancellable<V: View>(
+    gens: &[Digraph],
+    input: &Complex<V>,
+    rounds: usize,
+    budget: impl Into<RunBudget>,
+    cancel: &CancelToken,
+) -> Result<RoundsComplex<V>, TopologyError> {
+    rounds_driver(gens, input, rounds, budget.into(), true, Some(cancel))
 }
 
 /// The sequential reference implementation of
@@ -375,7 +423,7 @@ pub fn protocol_complex_rounds_seq<V: View>(
     rounds: usize,
     budget: impl Into<RunBudget>,
 ) -> Result<RoundsComplex<V>, TopologyError> {
-    rounds_driver(gens, input, rounds, budget.into(), false)
+    rounds_driver(gens, input, rounds, budget.into(), false, None)
 }
 
 #[cfg(test)]
